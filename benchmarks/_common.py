@@ -1,0 +1,24 @@
+"""Shared plumbing for the experiment benches.
+
+Every bench regenerates one of the paper's tables or figures.  Besides
+the pytest-benchmark timings, each bench *emits* its rendered artefact:
+printed to stdout (visible with ``pytest -s``) and written to
+``benchmarks/results/<name>.txt`` so a full ``pytest benchmarks/
+--benchmark-only`` run leaves the reproduced tables on disk.
+"""
+
+from __future__ import annotations
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(name: str, text: str) -> str:
+    """Print an artefact and persist it under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    print(f"\n{'=' * 72}\n{name}\n{'=' * 72}\n{text}\n")
+    return path

@@ -1,0 +1,87 @@
+"""A3 (ablation) — deductive-language overhead vs the direct API.
+
+The paper argues for a deductive query language on expressiveness
+grounds (Section 6), accepting interpreter cost.  This ablation puts a
+number on that cost: the same Q1/Q2/Q3/Q5 queries through the DQL and
+through the Python API, on the same database.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.benchmark import BenchmarkConfig, LabFlowWorkload
+from repro.benchmark.operations import QueryRunner
+from repro.labbase import LabBase
+from repro.storage import OStoreMM
+from repro.util.fmt import format_table
+from repro.util.rng import DeterministicRng
+
+from _common import emit
+
+_CONFIG = BenchmarkConfig(clones_per_interval=8, intervals=(0.5, 1.0))
+_PER_OP = 150
+
+
+@pytest.fixture(scope="module")
+def warm():
+    db = LabBase(OStoreMM())
+    workload = LabFlowWorkload(db, _CONFIG)
+    workload.run_all()
+    return db, workload
+
+
+def _measure(runner: QueryRunner, op: str) -> float:
+    method = getattr(runner, f"run_{op.lower()}")
+    started = time.perf_counter()
+    for _ in range(_PER_OP):
+        method()
+    return (time.perf_counter() - started) / _PER_OP * 1e6
+
+
+def test_a3_emit_overhead_table(benchmark, warm):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    db, workload = warm
+    rows = []
+    for op in ("Q1", "Q2", "Q3", "Q5"):
+        api_runner = QueryRunner(db, workload.registry, DeterministicRng(1), "api")
+        dql_runner = QueryRunner(db, workload.registry, DeterministicRng(1), "dql")
+        api_us = _measure(api_runner, op)
+        dql_us = _measure(dql_runner, op)
+        rows.append([op, f"{api_us:.0f}", f"{dql_us:.0f}", f"{dql_us / api_us:.1f}x"])
+    text = format_table(
+        ["query", "API (us)", "DQL (us)", "interpreter cost"],
+        rows,
+        title="A3: deductive-language overhead (same answers, same store)",
+        align_right=(1, 2, 3),
+    )
+    emit("a3_dql_overhead", text)
+
+
+@pytest.mark.parametrize("path", ["api", "dql"])
+@pytest.mark.parametrize("op", ["Q1", "Q2", "Q3", "Q5"])
+def test_a3_query_latency(benchmark, warm, path, op):
+    db, workload = warm
+    runner = QueryRunner(db, workload.registry, DeterministicRng(2), path)
+    benchmark(getattr(runner, f"run_{op.lower()}"))
+
+
+def test_a3_answers_identical(benchmark, warm):
+    """The ablation's precondition: both paths return the same answers."""
+    db, workload = warm
+    api_runner = QueryRunner(db, workload.registry, DeterministicRng(7), "api")
+    dql_runner = QueryRunner(db, workload.registry, DeterministicRng(7), "dql")
+
+    def check():
+        matches = 0
+        for _ in range(25):
+            assert api_runner.run_q1() == dql_runner.run_q1()
+            assert api_runner.run_q2() == dql_runner.run_q2()
+            assert api_runner.run_q3() == dql_runner.run_q3()
+            assert api_runner.run_q5() == dql_runner.run_q5()
+            matches += 1
+        return matches
+
+    assert benchmark.pedantic(check, rounds=1, iterations=1) == 25

@@ -1,0 +1,94 @@
+"""E10 (figure) — throughput vs accumulated history.
+
+The event history grows forever; the figure shows whether query cost
+grows with it.  With LabBase's most-recent index, Q2 latency stays flat
+as a material's history lengthens; without it (the slow path the index
+exists to avoid), Q2 degrades linearly.  Emitted as a text series — the
+reproduction of the paper's scaling figure.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.labbase import LabBase
+from repro.storage import OStoreMM
+from repro.util.fmt import format_table
+
+from _common import emit
+
+_HISTORY_LENGTHS = (8, 32, 128, 512)
+_PROBES = 400
+
+
+def _db_with_history(length: int, use_index: bool) -> tuple[LabBase, int]:
+    db = LabBase(OStoreMM(), use_most_recent_index=use_index)
+    db.define_material_class("m")
+    db.define_step_class("s", ["a", "b"], ["m"])
+    oid = db.create_material("m", "probe", 0)
+    for valid_time in range(1, length + 1):
+        db.record_step("s", valid_time, [oid], {"a": valid_time})
+    return db, oid
+
+
+def _probe_ms(db: LabBase, oid: int) -> float:
+    started = time.perf_counter()
+    for _ in range(_PROBES):
+        db.most_recent(oid, "a")
+    return (time.perf_counter() - started) * 1000 / _PROBES
+
+
+def test_e10_emit_scaling_series(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    indexed_series = []
+    scan_series = []
+    for length in _HISTORY_LENGTHS:
+        indexed_db, indexed_oid = _db_with_history(length, use_index=True)
+        scan_db, scan_oid = _db_with_history(length, use_index=False)
+        indexed_ms = _probe_ms(indexed_db, indexed_oid)
+        scan_ms = _probe_ms(scan_db, scan_oid)
+        indexed_series.append(indexed_ms)
+        scan_series.append(scan_ms)
+        rows.append([
+            length,
+            f"{indexed_ms * 1000:.1f}",
+            f"{scan_ms * 1000:.1f}",
+            f"{scan_ms / indexed_ms:.1f}x",
+        ])
+    text = format_table(
+        ["history length", "Q2 with index (us)", "Q2 scan (us)", "scan penalty"],
+        rows,
+        title="E10: most-recent query cost vs history length",
+        align_right=(1, 2, 3),
+    )
+    # a crude text plot of the scan series
+    peak = max(scan_series)
+    plot_lines = ["", "scan cost (each * ~ proportional):"]
+    for length, value in zip(_HISTORY_LENGTHS, scan_series):
+        bar = "*" * max(1, int(40 * value / peak))
+        plot_lines.append(f"  {length:>4} | {bar}")
+    plot_lines.append("index cost (flat):")
+    for length, value in zip(_HISTORY_LENGTHS, indexed_series):
+        bar = "*" * max(1, int(40 * value / peak))
+        plot_lines.append(f"  {length:>4} | {bar}")
+    emit("e10_history_scaling", text + "\n" + "\n".join(plot_lines))
+
+    # shape: scan grows superlinearly vs index across the sweep
+    assert scan_series[-1] > scan_series[0] * 8
+    assert indexed_series[-1] < indexed_series[0] * 4
+    assert scan_series[-1] > indexed_series[-1] * 10
+
+
+@pytest.mark.parametrize("length", _HISTORY_LENGTHS)
+def test_e10_q2_with_index(benchmark, length):
+    db, oid = _db_with_history(length, use_index=True)
+    benchmark(lambda: db.most_recent(oid, "a"))
+
+
+@pytest.mark.parametrize("length", _HISTORY_LENGTHS)
+def test_e10_q2_scan(benchmark, length):
+    db, oid = _db_with_history(length, use_index=False)
+    benchmark(lambda: db.most_recent(oid, "a"))

@@ -1,0 +1,99 @@
+"""E11 — process re-engineering queries over the event history.
+
+The paper (Section 1) observes that Set-Query-style decision support —
+"aggregation, multiple joins and report generation" — also arises in
+workflow management "for process re-engineering".  This bench runs the
+chronicle queries a re-engineer would: per-step throughput profiles,
+the rework (re-sequencing) rate, cycle-time statistics, and the
+pipeline funnel — and emits the resulting management report.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchmark import BenchmarkConfig, LabFlowWorkload
+from repro.labbase import Chronicle, LabBase
+from repro.storage import OStoreMM
+from repro.util.fmt import format_table
+
+from _common import emit
+
+_CONFIG = BenchmarkConfig(
+    clones_per_interval=15, intervals=(0.5, 1.0), queries_per_intake=0
+)
+_PIPELINE = ["receive_clone", "assemble_sequence", "blast_search", "incorporate"]
+
+
+@pytest.fixture(scope="module")
+def lab():
+    db = LabBase(OStoreMM())
+    workload = LabFlowWorkload(db, _CONFIG)
+    workload.run_all()
+    workload.drain()
+    return db, Chronicle(db)
+
+
+def test_e11_emit_reengineering_report(benchmark, lab):
+    db, chronicle = lab
+    profiles = benchmark(chronicle.step_profiles)
+
+    profile_rows = [
+        [p.class_name, p.executions, p.materials_touched,
+         f"{p.throughput:.3f}", f"{p.mean_results_per_step:.1f}"]
+        for p in profiles
+    ]
+    profile_table = format_table(
+        ["step class", "runs", "materials", "runs/tick", "attrs/run"],
+        profile_rows,
+        title="Step-class profiles",
+        align_right=(1, 2, 3, 4),
+    )
+
+    rework = chronicle.rework("determine_sequence")
+    funnel = chronicle.funnel("clone", _PIPELINE)
+    cycle = chronicle.cycle_time_statistics(db.in_state("clone_done"))
+    quality = chronicle.value_distribution("tclone", "quality")
+
+    summary_rows = [
+        ["sequencing rework rate", f"{rework.rework_rate:.1%}"],
+        ["max sequencing runs on one tclone", rework.max_runs_on_one_material],
+        ["finished-clone cycle time (mean)", f"{cycle['mean']:.0f} ticks"],
+        ["finished-clone cycle time (max)", f"{cycle['max']:.0f} ticks"],
+        ["tclone quality (mean)", f"{quality['mean']:.3f}"],
+    ]
+    funnel_rows = [[name, count] for name, count in funnel]
+
+    text = "\n\n".join([
+        profile_table,
+        format_table(["pipeline stage", "clones reached"], funnel_rows,
+                     title="Clone funnel", align_right=(1,)),
+        format_table(["management metric", "value"], summary_rows,
+                     title="Re-engineering summary"),
+    ])
+    emit("e11_reengineering", text)
+
+    counts = [count for _name, count in funnel]
+    assert counts[0] == _CONFIG.total_clones()
+    assert all(a >= b for a, b in zip(counts, counts[1:]))
+    assert 0.0 <= rework.rework_rate < 0.5
+
+
+def test_e11_profile_query_cost(benchmark, lab):
+    """The full-history aggregation scan (the expensive Set-Query op)."""
+    _db, chronicle = lab
+    profiles = benchmark(chronicle.step_profiles)
+    assert len(profiles) == 9
+
+
+def test_e11_funnel_cost(benchmark, lab):
+    _db, chronicle = lab
+    funnel = benchmark(lambda: chronicle.funnel("clone", _PIPELINE))
+    assert len(funnel) == len(_PIPELINE)
+
+
+def test_e11_cycle_time_cost(benchmark, lab):
+    db, chronicle = lab
+    done = db.in_state("clone_done")
+    stats = benchmark(lambda: chronicle.cycle_time_statistics(done))
+    assert stats["count"] == len(done)

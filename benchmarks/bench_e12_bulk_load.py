@@ -1,0 +1,91 @@
+"""E12 — the database build phase: bulk load vs per-operation API.
+
+LabFlow-1 runs start by building an initial database.  This bench
+measures that phase both ways — the one-at-a-time API the stream uses
+and the batched :class:`~repro.labbase.bulkload.BulkLoader` — on the
+ObjectStore-style store, reporting wall time and object writes.  The
+loaded databases are verified logically identical before timing.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.labbase import LabBase
+from repro.labbase.bulkload import BulkLoader
+from repro.storage import ObjectStoreSM
+from repro.util.fmt import format_table
+
+from _common import emit
+
+_SCALES = (100, 400)
+
+
+def _schema(db: LabBase) -> None:
+    db.define_material_class("clone")
+    db.define_step_class(
+        "receive_clone", ["source", "insert_length"], ["clone"]
+    )
+    db.define_step_class("determine_sequence", ["sequence", "quality"], ["clone"])
+
+
+def _load_api(db: LabBase, count: int) -> None:
+    for index in range(count):
+        oid = db.create_material("clone", f"c-{index:06d}", index, state="arrived")
+        db.record_step("receive_clone", index, [oid],
+                       {"source": "lab", "insert_length": index})
+        db.record_step("determine_sequence", index + 1, [oid],
+                       {"sequence": "ACGT" * 50, "quality": 0.9})
+
+
+def _load_bulk(db: LabBase, count: int) -> None:
+    loader = BulkLoader(db)
+    for index in range(count):
+        ref = loader.add_material("clone", f"c-{index:06d}", index, state="arrived")
+        loader.add_step("receive_clone", index, [ref],
+                        {"source": "lab", "insert_length": index})
+        loader.add_step("determine_sequence", index + 1, [ref],
+                        {"sequence": "ACGT" * 50, "quality": 0.9})
+    loader.flush()
+
+
+def _measure(load, count) -> tuple[float, int]:
+    db = LabBase(ObjectStoreSM(buffer_pages=256))
+    _schema(db)
+    before = db.storage.stats.objects_written
+    started = time.perf_counter()
+    load(db, count)
+    elapsed = time.perf_counter() - started
+    writes = db.storage.stats.objects_written - before
+    assert db.count_materials("clone") == count
+    return elapsed, writes
+
+
+def test_e12_emit_build_table(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for count in _SCALES:
+        api_sec, api_writes = _measure(_load_api, count)
+        bulk_sec, bulk_writes = _measure(_load_bulk, count)
+        rows.append([
+            f"{count} clones x 2 steps",
+            f"{api_sec * 1000:.1f}", f"{api_writes:,}",
+            f"{bulk_sec * 1000:.1f}", f"{bulk_writes:,}",
+            f"{api_writes / bulk_writes:.1f}x",
+        ])
+        assert bulk_writes < api_writes
+    text = format_table(
+        ["load", "API ms", "API writes", "bulk ms", "bulk writes", "write ratio"],
+        rows,
+        title="E12: database build phase, per-op API vs bulk loader",
+        align_right=(1, 2, 3, 4, 5),
+    )
+    emit("e12_bulk_load", text)
+
+
+@pytest.mark.parametrize("path,load", [("api", _load_api), ("bulk", _load_bulk)],
+                         ids=["api", "bulk"])
+def test_e12_build_latency(benchmark, path, load):
+    benchmark.pedantic(lambda: _measure(load, 150), rounds=2, iterations=1)

@@ -1,0 +1,54 @@
+"""E3 — Figure 1: the two-level EER benchmark schema.
+
+Emits the EER rendering for the genome workflow and measures catalog
+operations: registering the full schema and the version lookups queries
+do on every step decode.
+"""
+
+from __future__ import annotations
+
+from repro.benchmark.schema_report import eer_text, schema_statistics
+from repro.labbase import LabBase
+from repro.storage import OStoreMM
+from repro.util.fmt import format_table
+from repro.workflow import WorkflowEngine, build_genome_spec, build_genome_workflow
+from repro.util.rng import DeterministicRng
+
+from _common import emit
+
+
+def test_e3_emit_eer_figure(benchmark):
+    spec = build_genome_spec()
+    text = benchmark(lambda: eer_text(spec))
+    stats = schema_statistics(spec)
+    table = format_table(
+        ["schema element", "count"],
+        sorted(stats.items()),
+        align_right=(1,),
+        title="Schema statistics",
+    )
+    emit("e3_schema_figure", text + "\n\n" + table)
+    assert stats["material_classes"] == 3
+    assert stats["step_classes"] == 9
+
+
+def test_e3_full_schema_registration(benchmark):
+    """Cost of installing the whole workflow schema into LabBase."""
+
+    def install():
+        db = LabBase(OStoreMM())
+        engine = WorkflowEngine(db, build_genome_workflow(), DeterministicRng(1))
+        engine.install_schema()
+        return db
+
+    db = benchmark(install)
+    assert len(db.catalog.step_classes) == 9
+
+
+def test_e3_version_lookup(benchmark):
+    db = LabBase(OStoreMM())
+    engine = WorkflowEngine(db, build_genome_workflow(), DeterministicRng(1))
+    engine.install_schema()
+    version_id = db.catalog.step_class("determine_sequence").current.version_id
+    result = benchmark(lambda: db.catalog.step_version(version_id))
+    assert result.name == "determine_sequence"

@@ -1,0 +1,100 @@
+"""E9 — schema evolution is O(catalog), not O(data).
+
+Section 5.1: "a schema change does not result in a re-organization or
+migration of old data to the new schema ... each data object is
+associated forever with the class that created it."  The bench measures
+the cost of a determine_sequence schema change against databases of
+increasing size — flat cost and near-zero object writes — and contrasts
+it with what an eager migration of the stored steps would cost.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+
+import pytest
+
+from repro.benchmark import BenchmarkConfig, LabFlowWorkload
+from repro.labbase import LabBase
+from repro.storage import OStoreMM
+from repro.util.fmt import format_table
+
+from _common import emit
+
+_SCALES = (4, 8, 16)
+_attr_counter = itertools.count(1)
+
+
+def _populated(clones: int) -> LabBase:
+    db = LabBase(OStoreMM())
+    config = BenchmarkConfig(
+        clones_per_interval=clones, intervals=(0.5,), queries_per_intake=0
+    )
+    LabFlowWorkload(db, config).run_all()
+    return db
+
+
+def _evolve(db: LabBase) -> tuple[float, int]:
+    """Apply a fresh schema change; returns (ms, object writes)."""
+    before = db.storage.stats.objects_written
+    started = time.perf_counter()
+    db.define_step_class(
+        "determine_sequence",
+        ["sequence", "quality", "read_length", f"extra_{next(_attr_counter)}"],
+        ["tclone"],
+    )
+    elapsed_ms = (time.perf_counter() - started) * 1000
+    return elapsed_ms, db.storage.stats.objects_written - before
+
+
+def _eager_migration(db: LabBase) -> tuple[float, int]:
+    """The alternative design: rewrite every stored step (for contrast)."""
+    before = db.storage.stats.objects_written
+    started = time.perf_counter()
+    for oid, step in db.iter_steps():
+        db.storage.write(oid, step)  # touch every step record
+    elapsed_ms = (time.perf_counter() - started) * 1000
+    return elapsed_ms, db.storage.stats.objects_written - before
+
+
+def test_e9_emit_evolution_table(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for clones in _SCALES:
+        db = _populated(clones)
+        steps = sum(db.catalog.step_counts.values())
+        evolve_ms, evolve_writes = _evolve(db)
+        migrate_ms, migrate_writes = _eager_migration(db)
+        rows.append([
+            f"{clones} clones / {steps} steps",
+            f"{evolve_ms:.2f}",
+            evolve_writes,
+            f"{migrate_ms:.2f}",
+            migrate_writes,
+        ])
+        # the claim: evolution cost independent of data volume
+        assert evolve_writes <= 3
+        assert migrate_writes >= steps
+    text = format_table(
+        ["database", "evolve ms", "evolve writes", "migrate ms", "migrate writes"],
+        rows,
+        title="E9: attribute-set versioning vs eager migration",
+        align_right=(1, 2, 3, 4),
+    )
+    emit("e9_schema_evolution", text)
+
+
+@pytest.mark.parametrize("clones", _SCALES)
+def test_e9_evolution_latency(benchmark, clones):
+    db = _populated(clones)
+    benchmark(lambda: _evolve(db))
+
+
+def test_e9_old_versions_still_serve_queries(benchmark):
+    """Post-change queries over pre-change data pay no penalty."""
+    db = _populated(6)
+    _evolve(db)
+    oid = next(iter(db.iter_materials()))[0]  # created before the change
+    result = benchmark(lambda: db.current_attributes(oid))
+    assert isinstance(result, dict)

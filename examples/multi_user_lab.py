@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Multi-user access: the concurrency gap between the storage managers.
+
+The paper's usability comparison: ObjectStore mediates all access
+through a page server with lock-based concurrency control; Texas
+programs access their database file directly, so only one client may
+attach.  This example runs a three-user lab (data entry, a sequencing
+daemon, a report writer) over ObjectStore — with a real lock conflict
+and the release-and-retry discipline — and then shows Texas refusing
+the second user.
+
+Run:  python examples/multi_user_lab.py
+"""
+
+from repro import LabBase, LabClock, ObjectStoreSM, TexasSM
+from repro.errors import ConcurrencyUnsupportedError, LockError
+from repro.labbase import SessionManager
+
+
+def setup(db: LabBase, clock: LabClock) -> int:
+    db.define_material_class("clone")
+    db.define_step_class("determine_sequence", ["sequence", "quality"], ["clone"])
+    return db.create_material("clone", "clone-000001", clock.tick(),
+                              state="waiting_for_sequencing")
+
+
+def main() -> None:
+    print("== ObjectStore: three concurrent users ==")
+    db = LabBase(ObjectStoreSM())
+    clock = LabClock()
+    clone = setup(db, clock)
+
+    manager = SessionManager(db)
+    entry = manager.open_session("data-entry")
+    daemon = manager.open_session("sequencing-daemon")
+    reports = manager.open_session("report-writer")
+    print(f"sessions open: {manager.open_sessions()}")
+
+    # the daemon records a sequencing result under exclusive locks
+    daemon.record_step("determine_sequence", clock.tick(), [clone],
+                       {"sequence": "ACGTACGT", "quality": 0.91})
+    print("daemon: recorded sequencing result (exclusive lock held)")
+
+    # the report writer tries to read while the daemon still holds locks
+    try:
+        reports.most_recent(clone, "quality")
+    except LockError as exc:
+        print(f"report-writer: blocked -> {exc}")
+
+    # 1996 discipline: the writer commits and releases, the reader retries
+    daemon.release_locks()
+    quality = reports.most_recent(clone, "quality")
+    print(f"report-writer: after release, quality = {quality}")
+    reports.release_locks()
+
+    # two readers share locks happily
+    value_a = entry.most_recent(clone, "quality")
+    value_b = reports.most_recent(clone, "quality")
+    print(f"shared readers agree: {value_a} == {value_b}")
+    for session in (entry, daemon, reports):
+        session.close()
+
+    print("\n== Texas: single-client only ==")
+    texas_db = LabBase(TexasSM())
+    texas_clock = LabClock()
+    setup(texas_db, texas_clock)
+    texas_manager = SessionManager(texas_db)
+    texas_manager.open_session("the-one-user")
+    print("first user attached fine")
+    try:
+        texas_manager.open_session("a-second-user")
+    except ConcurrencyUnsupportedError as exc:
+        print(f"second user refused -> {exc}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""The paper's three benchmark architectures.
+
+(A) direct to the DBMS — :class:`~repro.arch.direct.DirectServer`;
+(B) workflow wrapper over a DBMS — the
+    :class:`~repro.arch.wrapper.WorkflowDataServer` contract;
+(C) LabBase over an object storage manager — the benchmarked case,
+    :class:`repro.labbase.LabBase`.
+"""
+
+from repro.arch.direct import DirectServer
+from repro.arch.wrapper import WorkflowDataServer, is_benchmark_complete
+
+__all__ = ["DirectServer", "WorkflowDataServer", "is_benchmark_complete"]

@@ -1,0 +1,232 @@
+"""Architecture (A): the benchmark straight against a storage manager.
+
+"Architecture (A) represents the most direct test of a DBMS.  Here,
+queries and updates from LabFlow-1 are submitted directly to the DBMS,
+without any intervening software.  This architecture is suitable for
+testing DBMSs that have been designed with workflow management in mind."
+
+A bare object storage manager has *not* been designed with workflow
+management in mind, so :class:`DirectServer` is deliberately naive: it
+satisfies the :class:`~repro.arch.wrapper.WorkflowDataServer` contract
+using only flat records and linear scans — no most-recent index, no
+state sets, no key hashing.  Comparing it against LabBase on the same
+store (examples and the A1/E10 ablations) shows exactly what the
+wrapper buys, which is the paper's argument for Architecture (C).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import (
+    DuplicateKeyError,
+    UnknownAttributeError,
+    UnknownClassError,
+    UnknownMaterialError,
+)
+from repro.storage.base import StorageManager
+
+_INDEX_ROOT = "direct_index"
+
+
+class DirectServer:
+    """Benchmark-complete, wrapper-free server (Architecture A).
+
+    Data layout: one record per material ``{class, key, steps: [oid]}``
+    and one per step ``{class, valid_time, results, involves}``; a single
+    root record lists every material oid per class.  Current values are
+    found by scanning the material's steps — the cost LabBase's access
+    structures exist to avoid.
+    """
+
+    def __init__(self, sm: StorageManager) -> None:
+        self._sm = sm
+        root = sm.get_root(_INDEX_ROOT)
+        if root is None:
+            self._index_oid = sm.allocate_write({"classes": {}, "steps": {}})
+            sm.set_root(_INDEX_ROOT, self._index_oid)
+        else:
+            self._index_oid = root
+
+    # -- index record -------------------------------------------------------
+
+    def _index(self) -> dict:
+        return self._sm.read(self._index_oid)
+
+    def _write_index(self, index: dict) -> None:
+        self._sm.write(self._index_oid, index)
+
+    # -- schema -----------------------------------------------------------------
+
+    def define_material_class(
+        self,
+        name: str,
+        key_attribute: str = "name",
+        description: str = "",
+        parent: str | None = None,
+    ) -> None:
+        index = self._index()
+        index["classes"].setdefault(name, [])
+        self._write_index(index)
+
+    def define_step_class(
+        self,
+        name: str,
+        attributes: Iterable[str],
+        involves_classes: Iterable[str] = (),
+        description: str = "",
+    ) -> None:
+        index = self._index()
+        index["steps"].setdefault(name, list(attributes))
+        self._write_index(index)
+
+    # -- updates ------------------------------------------------------------------
+
+    def create_material(
+        self,
+        class_name: str,
+        key: str,
+        valid_time: int,
+        state: str | None = None,
+    ) -> int:
+        index = self._index()
+        if class_name not in index["classes"]:
+            raise UnknownClassError(class_name)
+        for oid in index["classes"][class_name]:
+            if self._sm.read(oid)["key"] == key:  # linear duplicate check
+                raise DuplicateKeyError(class_name, key)
+        oid = self._sm.allocate_write(
+            {
+                "class": class_name,
+                "key": key,
+                "created": valid_time,
+                "state": state,
+                "steps": [],
+            }
+        )
+        index["classes"][class_name].append(oid)
+        self._write_index(index)
+        return oid
+
+    def record_step(
+        self,
+        class_name: str,
+        valid_time: int,
+        involves: Iterable[int],
+        results: dict | None = None,
+        version_id: int | None = None,
+    ) -> int:
+        index = self._index()
+        if class_name not in index["steps"]:
+            raise UnknownClassError(class_name)
+        involved = [int(oid) for oid in involves]
+        step_oid = self._sm.allocate_write(
+            {
+                "class": class_name,
+                "valid_time": valid_time,
+                "results": sorted((results or {}).items()),
+                "involves": involved,
+            }
+        )
+        for material_oid in involved:
+            record = self._sm.read(material_oid)
+            record["steps"].append(step_oid)
+            self._sm.write(material_oid, record)
+        return step_oid
+
+    def set_state(self, material_oid: int, state: str, valid_time: int) -> None:
+        record = self._sm.read(material_oid)
+        record["state"] = state
+        self._sm.write(material_oid, record)
+
+    # -- queries --------------------------------------------------------------------
+
+    def lookup(self, class_name: str, key: str) -> int:
+        index = self._index()
+        if class_name not in index["classes"]:
+            raise UnknownClassError(class_name)
+        for oid in index["classes"][class_name]:  # linear scan
+            if self._sm.read(oid)["key"] == key:
+                return oid
+        raise UnknownMaterialError(f"no material {key!r} in class {class_name!r}")
+
+    def most_recent(self, material_oid: int, attribute: str) -> object:
+        record = self._sm.read(material_oid)
+        best_time = None
+        best_value: object = None
+        for step_oid in record["steps"]:  # full history scan
+            step = self._sm.read(step_oid)
+            for attr, value in step["results"]:
+                if attr == attribute and (
+                    best_time is None or step["valid_time"] >= best_time
+                ):
+                    best_time = step["valid_time"]
+                    best_value = value
+        if best_time is None:
+            raise UnknownAttributeError(f"material {material_oid}", attribute)
+        return best_value
+
+    def in_state(self, state: str) -> list[int]:
+        index = self._index()
+        found = []
+        for oids in index["classes"].values():  # scan everything
+            for oid in oids:
+                if self._sm.read(oid)["state"] == state:
+                    found.append(oid)
+        return found
+
+    def count_materials(self, class_name: str, include_subclasses: bool = True) -> int:
+        index = self._index()
+        if class_name not in index["classes"]:
+            raise UnknownClassError(class_name)
+        return len(index["classes"][class_name])
+
+    def count_steps(self, class_name: str) -> int:
+        index = self._index()
+        if class_name not in index["steps"]:
+            raise UnknownClassError(class_name)
+        total = 0
+        for oids in index["classes"].values():
+            for oid in oids:
+                for step_oid in self._sm.read(oid)["steps"]:
+                    if self._sm.read(step_oid)["class"] == class_name:
+                        total += 1
+        return total
+
+    def report(
+        self, material_oids: Iterable[int], attributes: Iterable[str]
+    ) -> list[dict]:
+        attrs = list(attributes)
+        rows = []
+        for oid in material_oids:
+            record = self._sm.read(oid)
+            row: dict[str, object] = {
+                "oid": oid,
+                "class": record["class"],
+                "key": record["key"],
+                "state": record["state"],
+            }
+            for attr in attrs:
+                try:
+                    row[attr] = self.most_recent(oid, attr)
+                except UnknownAttributeError:
+                    row[attr] = None
+            rows.append(row)
+        return rows
+
+    def material_history(self, material_oid: int) -> list:
+        record = self._sm.read(material_oid)
+        steps = [(oid, self._sm.read(oid)) for oid in record["steps"]]
+        steps.sort(key=lambda pair: pair[1]["valid_time"], reverse=True)
+        return steps
+
+    # -- transactions ---------------------------------------------------------------
+
+    def begin(self) -> None:
+        self._sm.begin()
+
+    def commit(self) -> None:
+        self._sm.commit()
+
+    def abort(self) -> None:
+        self._sm.abort()

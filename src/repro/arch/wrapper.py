@@ -1,0 +1,83 @@
+"""Architecture (B): the workflow-wrapper interface.
+
+The paper's Figure of architectures:
+
+* **(A)** queries/updates go directly to the DBMS — suitable only for a
+  DBMS designed for workflow management (``repro.arch.direct`` shows
+  what that costs a plain storage manager);
+* **(B)** a *workflow wrapper* between the application and a general
+  DBMS supplies event histories, most-recent access and schema
+  evolution;
+* **(C)** the special case benchmarked in the paper: the wrapper is
+  LabBase and the DBMS is an object storage manager.
+
+:class:`WorkflowDataServer` is the wrapper contract — the operations
+LabFlow-1 requires of whatever sits under Architecture (B).  LabBase is
+the reference implementation; the runtime check lets tests assert that
+any alternative wrapper is benchmark-complete before the harness will
+accept it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class WorkflowDataServer(Protocol):
+    """What LabFlow-1 requires of a workflow data server."""
+
+    # schema (U4)
+    def define_material_class(
+        self, name: str, key_attribute: str = ..., description: str = ...,
+        parent: str | None = ...,
+    ): ...
+
+    def define_step_class(
+        self, name: str, attributes: Iterable[str],
+        involves_classes: Iterable[str] = ..., description: str = ...,
+    ): ...
+
+    # updates (U1-U3)
+    def create_material(
+        self, class_name: str, key: str, valid_time: int,
+        state: str | None = ...,
+    ) -> int: ...
+
+    def record_step(
+        self, class_name: str, valid_time: int, involves: Iterable[int],
+        results: dict | None = ..., version_id: int | None = ...,
+    ) -> int: ...
+
+    def set_state(self, material_oid: int, state: str, valid_time: int) -> None: ...
+
+    # queries (Q1-Q7)
+    def lookup(self, class_name: str, key: str) -> int: ...
+
+    def most_recent(self, material_oid: int, attribute: str) -> object: ...
+
+    def in_state(self, state: str) -> list[int]: ...
+
+    def count_materials(
+        self, class_name: str, include_subclasses: bool = ...
+    ) -> int: ...
+
+    def count_steps(self, class_name: str) -> int: ...
+
+    def report(
+        self, material_oids: Iterable[int], attributes: Iterable[str]
+    ) -> list[dict]: ...
+
+    def material_history(self, material_oid: int) -> list: ...
+
+    # transactions
+    def begin(self) -> None: ...
+
+    def commit(self) -> None: ...
+
+    def abort(self) -> None: ...
+
+
+def is_benchmark_complete(server: object) -> bool:
+    """Whether an object implements the full wrapper contract."""
+    return isinstance(server, WorkflowDataServer)

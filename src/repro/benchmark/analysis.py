@@ -1,0 +1,143 @@
+"""Executable reproduction claims.
+
+EXPERIMENTS.md states which of the paper's relationships this
+reproduction preserves.  This module makes those statements *checkable*:
+:func:`check_shapes` evaluates every claim against a
+:class:`~repro.benchmark.harness.ComparisonResult` and returns a list of
+:class:`ShapeCheck` verdicts — so "the shape holds" is a test, not prose.
+
+The checks encode the Section 10 relationships the paper text attests:
+
+S1  identical logical workload across all server versions;
+S2  Texas-family database 1.2-2.2x the OStore size (paper: 1.46-1.48x);
+S3  OStore fewest major faults among persistent versions;
+S4  main-memory versions: zero size and zero (simulated) faults;
+S5  Texas+TC user CPU >= plain OStore user CPU (client clustering cost);
+S6  database size grows monotonically across intervals;
+S7  Texas swizzles (swizzle_operations > 0 when it faults), OStore never.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.benchmark.harness import ComparisonResult
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    """One verified relationship."""
+
+    claim_id: str
+    description: str
+    passed: bool
+    detail: str
+
+    def __str__(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return f"[{status}] {self.claim_id}: {self.description} ({self.detail})"
+
+
+def _ratio(numerator: float, denominator: float) -> float:
+    return numerator / denominator if denominator else float("inf")
+
+
+def check_shapes(comparison: ComparisonResult) -> list[ShapeCheck]:
+    """Evaluate every reproduction claim; raises nothing, reports all."""
+    checks: list[ShapeCheck] = []
+    servers = {run.server: run for run in comparison.runs}
+    final = comparison.interval_labels[-1]
+
+    # S1: identical workload
+    reads = {run.final_stats.get("objects_read") for run in comparison.runs}
+    writes = {run.final_stats.get("objects_written") for run in comparison.runs}
+    checks.append(ShapeCheck(
+        "S1", "identical logical workload on every server version",
+        len(reads) == 1 and len(writes) == 1,
+        f"objects_read values {sorted(reads)}",
+    ))
+
+    # S2: size ratio band
+    if "OStore" in servers and "Texas" in servers:
+        ostore_size = servers["OStore"].usage_for(final).size_bytes
+        for texas_name in ("Texas", "Texas+TC"):
+            if texas_name not in servers:
+                continue
+            ratio = _ratio(servers[texas_name].usage_for(final).size_bytes,
+                           ostore_size)
+            checks.append(ShapeCheck(
+                "S2", f"{texas_name} database 1.2-2.2x OStore size "
+                      "(paper 1.46-1.48x)",
+                1.2 < ratio < 2.2,
+                f"measured {ratio:.2f}x",
+            ))
+
+    # S3: OStore fewest faults among persistent versions
+    persistent = [name for name in ("OStore", "Texas", "Texas+TC")
+                  if name in servers]
+    if "OStore" in persistent and len(persistent) > 1:
+        faults = {
+            name: servers[name].final_stats.get("major_faults", 0)
+            for name in persistent
+        }
+        checks.append(ShapeCheck(
+            "S3", "OStore has the fewest faults among persistent versions",
+            all(faults["OStore"] <= faults[name] for name in persistent),
+            f"faults {faults}",
+        ))
+
+    # S4: main-memory versions
+    for name in ("OStore-mm", "Texas-mm"):
+        if name not in servers:
+            continue
+        total = servers[name].total_usage()
+        checks.append(ShapeCheck(
+            "S4", f"{name}: no database file, no faults",
+            total.size_bytes == 0 and total.majflt == 0,
+            f"size {total.size_bytes}, faults {total.majflt}",
+        ))
+
+    # S5: client clustering costs CPU
+    if "Texas+TC" in servers and "OStore" in servers:
+        tc_cpu = servers["Texas+TC"].total_usage().user_cpu_sec
+        ostore_cpu = servers["OStore"].total_usage().user_cpu_sec
+        checks.append(ShapeCheck(
+            "S5", "Texas+TC user CPU >= OStore user CPU (clustering in "
+                  "client code)",
+            tc_cpu >= ostore_cpu * 0.95,  # 5% measurement slack
+            f"{tc_cpu:.3f}s vs {ostore_cpu:.3f}s",
+        ))
+
+    # S6: monotone growth
+    for name in persistent:
+        sizes = [interval.usage.size_bytes
+                 for interval in servers[name].intervals]
+        checks.append(ShapeCheck(
+            "S6", f"{name}: database size grows monotonically",
+            sizes == sorted(sizes) and sizes[0] > 0,
+            f"sizes {sizes}",
+        ))
+
+    # S7: swizzling happens exactly on the Texas family
+    for name in persistent:
+        swizzles = servers[name].final_stats.get("swizzle_operations", 0)
+        faults = servers[name].final_stats.get("major_faults", 0)
+        if name == "OStore":
+            passed = swizzles == 0
+            detail = f"{swizzles} swizzles"
+        else:
+            passed = (swizzles > 0) == (faults > 0)
+            detail = f"{swizzles} swizzles for {faults} faults"
+        checks.append(ShapeCheck(
+            "S7", f"{name}: swizzle work iff Texas-style faults", passed, detail,
+        ))
+
+    return checks
+
+
+def failed_checks(checks: list[ShapeCheck]) -> list[ShapeCheck]:
+    return [check for check in checks if not check.passed]
+
+
+def render_checks(checks: list[ShapeCheck]) -> str:
+    return "\n".join(str(check) for check in checks)

@@ -1,0 +1,125 @@
+"""The TPC-style debit/credit contrast workload (paper Section 9).
+
+"In our terminology, these benchmarks have one kind of material (bank
+accounts), and one kind of event (change account balance).  They also
+have one kind of query: look up an account record given its key, and
+return its current balance."
+
+To make the contrast concrete — not rhetorical — we run exactly that
+workload through the same LabBase/storage stack: one material class
+(``account``), one step class (``change_balance``), one query (balance
+lookup).  Experiment E7 then compares its stream statistics against the
+LabFlow-1 stream with a matched transaction count: class diversity,
+query-mix diversity, state usage, and history shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.labbase.database import LabBase
+from repro.labbase.temporal import LabClock
+from repro.util.rng import DeterministicRng
+
+ACCOUNT_CLASS = "account"
+STEP_CLASS = "change_balance"
+ACTIVE_STATE = "active"
+
+
+@dataclass(frozen=True)
+class DebitCreditResult:
+    """Stream statistics for the E7 contrast table."""
+
+    transactions: int
+    material_classes_used: int
+    step_classes_used: int
+    query_kinds_used: int
+    states_used: int
+    max_history_length: int
+    mean_history_length: float
+
+
+class DebitCreditWorkload:
+    """One-material-kind, one-event-kind, one-query-kind stream."""
+
+    def __init__(self, db: LabBase, seed: int = 1996, accounts: int = 100) -> None:
+        self.db = db
+        self.rng = DeterministicRng(seed)
+        self.clock = LabClock()
+        self.accounts = accounts
+        self._oids: list[int] = []
+
+    def setup(self) -> None:
+        self.db.begin()
+        self.db.define_material_class(ACCOUNT_CLASS, description="bank account")
+        self.db.define_step_class(
+            STEP_CLASS,
+            ["amount", "balance"],
+            involves_classes=(ACCOUNT_CLASS,),
+            description="debit or credit",
+        )
+        for index in range(self.accounts):
+            oid = self.db.create_material(
+                ACCOUNT_CLASS,
+                f"acct-{index:06d}",
+                self.clock.tick(),
+                state=ACTIVE_STATE,
+            )
+            # opening balance
+            self.db.record_step(
+                STEP_CLASS, self.clock.tick(), [oid], {"amount": 0, "balance": 0}
+            )
+            self._oids.append(oid)
+        self.db.commit()
+
+    def run(self, transactions: int) -> DebitCreditResult:
+        """The debit/credit stream: update + the single query kind."""
+        for _ in range(transactions):
+            oid = self.rng.choice(self._oids)
+            amount = self.rng.randint(-500, 500)
+            self.db.begin()
+            balance = self.db.most_recent(oid, "balance")  # the one query
+            self.db.record_step(
+                STEP_CLASS,
+                self.clock.tick(),
+                [oid],
+                {"amount": amount, "balance": balance + amount},
+            )
+            self.db.commit()
+        return self._statistics(transactions)
+
+    def _statistics(self, transactions: int) -> DebitCreditResult:
+        lengths = [self.db.history_length(oid) for oid in self._oids]
+        return DebitCreditResult(
+            transactions=transactions,
+            material_classes_used=1,
+            step_classes_used=1,
+            query_kinds_used=1,
+            states_used=1,
+            max_history_length=max(lengths),
+            mean_history_length=sum(lengths) / len(lengths),
+        )
+
+
+def labflow_stream_statistics(db: LabBase, workload_tallies) -> dict:
+    """The matching statistics for a LabFlow-1 run (E7's other column)."""
+    ops: set[str] = set()
+    transactions = 0
+    for tally in workload_tallies:
+        ops.update(tally.operations.counts)
+        transactions += tally.transactions
+    lengths = [record["history_len"] for _oid, record in db.iter_materials()]
+    states = [s for s, n in db.sets.state_census().items()]
+    return {
+        "transactions": transactions,
+        "material_classes_used": len(
+            [c for c, n in db.catalog.material_counts.items() if n]
+        ),
+        "step_classes_used": len(
+            [c for c, n in db.catalog.step_counts.items() if n]
+        ),
+        "query_kinds_used": len([op for op in ops if op.startswith("Q")]),
+        "states_used": len(states),
+        "max_history_length": max(lengths) if lengths else 0,
+        "mean_history_length": (sum(lengths) / len(lengths)) if lengths else 0.0,
+    }

@@ -1,0 +1,84 @@
+"""Synthetic BLAST homology-search results.
+
+The paper's "Set and List Generation" requirement: as the lab produces
+DNA sequences it searches GenBank/EMBL for homologous sequences with
+BLAST and stores the resulting hit lists locally.  Hit lists are the
+benchmark's large, infrequently-read values — they dominate the cold
+segment and exercise the large-object path of the storage managers.
+
+We have no GenBank, so hits are synthesized with BLAST-shaped fields
+(accession, bit score, E-value, alignment span, identity fraction) and a
+heavy-tailed list-length distribution: most searches find a handful of
+homologs, a few find very many — which is what makes fixed-size record
+assumptions fail, the point of including them in the benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.util.rng import DeterministicRng
+
+#: Database names hits are attributed to (weights sum to 1).
+DATABASES = ("genbank", "embl", "dbest")
+_DATABASE_WEIGHTS = (0.6, 0.3, 0.1)
+
+
+def hit_count(rng: DeterministicRng, mean: int, maximum: int) -> int:
+    """Heavy-tailed number of hits: log-normal, clamped to [0, maximum]."""
+    if mean <= 0:
+        return 0
+    # log-normal with median ~mean/2 and a fat right tail
+    mu = math.log(max(1.0, mean / 2))
+    draw = math.exp(mu + 0.9 * _gauss(rng))
+    return min(maximum, int(draw))
+
+
+def _gauss(rng: DeterministicRng) -> float:
+    # Box-Muller from the substream's uniform draws (keeps the interface
+    # of DeterministicRng minimal).
+    u1 = max(1e-12, rng.random())
+    u2 = rng.random()
+    return math.sqrt(-2.0 * math.log(u1)) * math.cos(2.0 * math.pi * u2)
+
+
+def generate_hit(rng: DeterministicRng, query_length: int) -> dict:
+    """One homology hit with BLAST-shaped fields."""
+    span = rng.randint(30, max(31, query_length))
+    score = round(span * rng.uniform(0.8, 2.1), 1)
+    # E-value shrinks exponentially with score
+    expect = math.exp(-score / 40.0) * rng.uniform(0.1, 10.0)
+    return {
+        "accession": rng.identifier("gb", 6),
+        "database": rng.weighted_choice(DATABASES, _DATABASE_WEIGHTS),
+        "score": score,
+        "expect": expect,
+        "align_start": rng.randint(1, max(2, query_length - span)),
+        "align_length": span,
+        "identity": round(rng.uniform(0.55, 1.0), 3),
+    }
+
+
+def generate_hit_list(
+    rng: DeterministicRng,
+    query_length: int = 400,
+    mean_hits: int = 20,
+    max_hits: int = 120,
+) -> list[dict]:
+    """A full hit list, best (highest score) first."""
+    count = hit_count(rng, mean_hits, max_hits)
+    hits = [generate_hit(rng, query_length) for _ in range(count)]
+    hits.sort(key=lambda hit: hit["score"], reverse=True)
+    return hits
+
+
+def summarize(hits: list[dict]) -> dict:
+    """The report row the lab keeps about a search (used by Q4/Q6)."""
+    if not hits:
+        return {"n_hits": 0, "best_score": None, "best_accession": None}
+    best = hits[0]
+    return {
+        "n_hits": len(hits),
+        "best_score": best["score"],
+        "best_accession": best["accession"],
+    }

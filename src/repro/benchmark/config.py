@@ -1,0 +1,104 @@
+"""Benchmark configuration.
+
+The paper reports results per *interval*: its table rows are labelled
+``0.5X``, ``1.0X``, ... where X is the base database size, and every
+server version processes the identical stream.  :class:`BenchmarkConfig`
+pins all scale and mix knobs, and — crucially — the seed: two configs
+with the same seed generate byte-identical workloads, which is what
+makes the cross-server comparison (E1) meaningful.
+
+Defaults are sized so a full five-server comparison finishes in well
+under a minute on one CPU; ``scale()`` produces proportionally larger
+runs for the scaling experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigError
+
+#: Paper column order for the five server versions.
+SERVER_ORDER = ("OStore", "Texas+TC", "Texas", "OStore-mm", "Texas-mm")
+
+
+@dataclass(frozen=True)
+class BenchmarkConfig:
+    """All knobs of a LabFlow-1 run."""
+
+    # scale: clones entering the lab per 0.5X interval
+    clones_per_interval: int = 30
+    #: interval labels, as multiples of X (cumulative database growth)
+    intervals: tuple[float, ...] = (0.5, 1.0, 1.5, 2.0)
+
+    seed: int = 1996
+
+    # stream mix
+    #: workflow steps pumped after each clone intake (work-in-progress mix)
+    pump_budget_per_intake: int = 36
+    #: interactive queries interleaved after each intake+pump block
+    queries_per_intake: int = 4
+    #: drive queries through the deductive language instead of the API
+    query_path: str = "api"  # "api" | "dql"
+
+    # LabBase knobs
+    use_most_recent_index: bool = True
+    history_chunk: int = 32
+
+    # storage knobs
+    buffer_pages: int = 256
+    #: directory for database files; None = in-memory page files
+    db_dir: str | None = None
+
+    # BLAST hit-list sizing (the large cold-data records)
+    blast_mean_hits: int = 20
+    blast_max_hits: int = 120
+
+    def __post_init__(self) -> None:
+        if self.clones_per_interval < 1:
+            raise ConfigError("clones_per_interval must be positive")
+        if not self.intervals:
+            raise ConfigError("at least one interval required")
+        if any(b <= a for a, b in zip(self.intervals, self.intervals[1:])):
+            raise ConfigError("intervals must be strictly increasing")
+        if self.query_path not in ("api", "dql"):
+            raise ConfigError(f"unknown query path {self.query_path!r}")
+        if self.pump_budget_per_intake < 0 or self.queries_per_intake < 0:
+            raise ConfigError("mix knobs must be non-negative")
+        if self.buffer_pages < 1:
+            raise ConfigError("buffer_pages must be positive")
+        if self.blast_mean_hits < 0 or self.blast_max_hits < self.blast_mean_hits:
+            raise ConfigError("invalid BLAST hit-list sizing")
+
+    # -- derived -----------------------------------------------------------
+
+    @property
+    def interval_labels(self) -> tuple[str, ...]:
+        return tuple(f"{interval:.1f}X" for interval in self.intervals)
+
+    def total_clones(self) -> int:
+        return self.clones_per_interval * len(self.intervals)
+
+    # -- variants --------------------------------------------------------------
+
+    def scaled(self, factor: float) -> "BenchmarkConfig":
+        """A config with proportionally more clones per interval."""
+        clones = max(1, round(self.clones_per_interval * factor))
+        return replace(self, clones_per_interval=clones)
+
+    def with_(self, **overrides) -> "BenchmarkConfig":
+        """Convenience wrapper around dataclasses.replace."""
+        return replace(self, **overrides)
+
+
+#: Tiny config for unit tests and doc examples (sub-second runs).
+TINY = BenchmarkConfig(
+    clones_per_interval=4,
+    intervals=(0.5, 1.0),
+    pump_budget_per_intake=20,
+    queries_per_intake=2,
+    buffer_pages=64,
+)
+
+#: Default benchmark scale (used by the benches).
+DEFAULT = BenchmarkConfig()

@@ -1,0 +1,94 @@
+"""Text figures for benchmark results.
+
+The paper's figures are line charts; a terminal reproduction renders
+them as aligned bar series.  :func:`ascii_chart` is the generic
+renderer; :func:`interval_series_chart` plots a per-interval resource
+for every server version of a comparison (the E1 companion figure), and
+:func:`growth_chart` plots database growth.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.benchmark.harness import ComparisonResult
+
+DEFAULT_WIDTH = 44
+
+
+def ascii_chart(
+    title: str,
+    labels: Sequence[str],
+    series: dict[str, Sequence[float]],
+    width: int = DEFAULT_WIDTH,
+    unit: str = "",
+) -> str:
+    """Render one bar row per (series, label) pair, scaled to ``width``.
+
+    All series share one scale so bars are comparable across series —
+    the property that makes the chart a figure rather than decoration.
+    """
+    if not series:
+        return title
+    peak = max((max(values) for values in series.values() if values), default=0.0)
+    label_width = max(len(label) for label in labels) if labels else 0
+    name_width = max(len(name) for name in series)
+    lines = [title]
+    for name, values in series.items():
+        if len(values) != len(labels):
+            raise ValueError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(labels)} labels"
+            )
+        lines.append(f"  {name}:")
+        for label, value in zip(labels, values):
+            bar_len = 0 if peak <= 0 else max(
+                1 if value > 0 else 0, round(width * value / peak)
+            )
+            bar = "#" * bar_len
+            lines.append(
+                f"    {label:>{label_width}} |{bar:<{width}}| "
+                f"{value:,.3f}{unit}"
+            )
+    return "\n".join(lines)
+
+
+def interval_series_chart(
+    comparison: ComparisonResult,
+    resource: str = "elapsed_sec",
+    title: str | None = None,
+) -> str:
+    """Per-interval resource chart across server versions.
+
+    ``resource`` is a :class:`~repro.util.timing.ResourceUsage` field
+    name (``elapsed_sec``, ``user_cpu_sec``, ``majflt``, ...).
+    """
+    labels = list(comparison.interval_labels)
+    series = {
+        run.server: [
+            float(getattr(interval.usage, resource))
+            for interval in run.intervals
+        ]
+        for run in comparison.runs
+    }
+    return ascii_chart(
+        title or f"{resource} per interval",
+        labels,
+        series,
+    )
+
+
+def growth_chart(comparison: ComparisonResult) -> str:
+    """Database size per interval for the persistent versions."""
+    labels = list(comparison.interval_labels)
+    series = {}
+    for run in comparison.runs:
+        sizes = [interval.usage.size_bytes for interval in run.intervals]
+        if any(sizes):
+            series[run.server] = [size / 1024.0 for size in sizes]
+    return ascii_chart(
+        "database size per interval (KiB)",
+        labels,
+        series,
+        unit=" KiB",
+    )

@@ -1,0 +1,87 @@
+"""The five server versions of the paper's Section 10.
+
+Each :class:`ServerSpec` knows how to construct its storage manager;
+``all_servers()`` returns them in the paper's column order (OStore,
+Texas+TC, Texas, OStore-mm, Texas-mm).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.benchmark.config import SERVER_ORDER, BenchmarkConfig
+from repro.errors import ConfigError
+from repro.storage.base import StorageManager
+from repro.storage.clustered import TexasTCSM
+from repro.storage.memstore import OStoreMM, TexasMM
+from repro.storage.objectstore import ObjectStoreSM
+from repro.storage.texas import TexasSM
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """One benchmark server version."""
+
+    name: str
+    persistent: bool
+    description: str
+    _factory: Callable[[str | None, int], StorageManager]
+
+    def make(self, config: BenchmarkConfig) -> StorageManager:
+        """Construct the storage manager per the benchmark config."""
+        path = None
+        if self.persistent and config.db_dir is not None:
+            os.makedirs(config.db_dir, exist_ok=True)
+            filename = self.name.replace("+", "_").lower() + ".db"
+            path = os.path.join(config.db_dir, filename)
+        return self._factory(path, config.buffer_pages)
+
+
+_SPECS: dict[str, ServerSpec] = {
+    "OStore": ServerSpec(
+        name="OStore",
+        persistent=True,
+        description="ObjectStore-style: segments, dense pages, page server",
+        _factory=lambda path, pages: ObjectStoreSM(path=path, buffer_pages=pages),
+    ),
+    "Texas+TC": ServerSpec(
+        name="Texas+TC",
+        persistent=True,
+        description="Texas plus client-code object clustering",
+        _factory=lambda path, pages: TexasTCSM(path=path, buffer_pages=pages),
+    ),
+    "Texas": ServerSpec(
+        name="Texas",
+        persistent=True,
+        description="Texas-style: one heap, power-of-two cells, swizzling",
+        _factory=lambda path, pages: TexasSM(path=path, buffer_pages=pages),
+    ),
+    "OStore-mm": ServerSpec(
+        name="OStore-mm",
+        persistent=False,
+        description="main memory, ObjectStore-flavoured API",
+        _factory=lambda path, pages: OStoreMM(),
+    ),
+    "Texas-mm": ServerSpec(
+        name="Texas-mm",
+        persistent=False,
+        description="main memory, Texas-flavoured API",
+        _factory=lambda path, pages: TexasMM(),
+    ),
+}
+
+
+def server_spec(name: str) -> ServerSpec:
+    try:
+        return _SPECS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown server version {name!r}; know {sorted(_SPECS)}"
+        ) from None
+
+
+def all_servers(names: tuple[str, ...] = SERVER_ORDER) -> list[ServerSpec]:
+    """Server specs in the paper's column order (or a chosen subset)."""
+    return [server_spec(name) for name in names]

@@ -1,0 +1,278 @@
+"""Command-line interface.
+
+::
+
+    python -m repro compare [--clones N] [--db-dir DIR] [--servers ...]
+    python -m repro run --server OStore [--clones N] [--db-dir DIR]
+    python -m repro graph [--workflow FILE]
+    python -m repro eer [--workflow FILE]
+    python -m repro demo [--clones N]
+    python -m repro query DBFILE "state(M, S)."
+    python -m repro shell DBFILE
+
+``compare`` regenerates the paper's Section 10 table; ``graph`` and
+``eer`` emit the Appendix B and Figure 1 artefacts; ``query``/``shell``
+run the deductive language against a persisted database file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.benchmark import (
+    BenchmarkConfig,
+    SERVER_ORDER,
+    render_comparison,
+    render_run,
+    render_stats,
+    run_comparison,
+    run_server,
+    server_spec,
+)
+from repro.benchmark.schema_report import eer_text
+from repro.labbase import Chronicle, LabBase
+from repro.query import Program
+from repro.storage import ObjectStoreSM
+from repro.util.fmt import format_table
+from repro.util.rng import DeterministicRng
+from repro.workflow import (
+    WorkflowEngine,
+    build_genome_spec,
+    build_genome_workflow,
+    load_workflow,
+)
+
+
+def _load_graph(path: str | None):
+    if path is None:
+        return build_genome_workflow()
+    with open(path) as handle:
+        return load_workflow(handle.read())
+
+
+def _config(args) -> BenchmarkConfig:
+    return BenchmarkConfig(
+        clones_per_interval=args.clones,
+        seed=args.seed,
+        db_dir=args.db_dir,
+    )
+
+
+# -- subcommands ------------------------------------------------------------
+
+
+def cmd_compare(args) -> int:
+    config = _config(args)
+    servers = tuple(args.servers) if args.servers else SERVER_ORDER
+    comparison = run_comparison(config, servers=servers)
+    print(render_comparison(comparison))
+    print()
+    print(render_stats(comparison))
+    return 0
+
+
+def cmd_run(args) -> int:
+    config = _config(args)
+    result = run_server(server_spec(args.server), config)
+    print(render_run(result))
+    return 0
+
+
+def cmd_graph(args) -> int:
+    graph = _load_graph(args.workflow)
+    print(graph.to_text())
+    return 0
+
+
+def cmd_eer(args) -> int:
+    if args.workflow is None:
+        spec = build_genome_spec()
+    else:
+        spec = _load_graph(args.workflow).spec
+    print(eer_text(spec))
+    return 0
+
+
+def cmd_demo(args) -> int:
+    graph = _load_graph(args.workflow)
+    db = LabBase(ObjectStoreSM(path=args.db))
+    engine = WorkflowEngine(db, graph, DeterministicRng(args.seed))
+    engine.install_schema()
+    print(f"processing {args.clones} materials...")
+    intake_class = graph.spec.materials[0].class_name
+    for _ in range(args.clones):
+        engine.create_material(intake_class)
+    executed = engine.pump(1_000_000)
+    print(f"{executed} workflow steps executed\n")
+
+    chronicle = Chronicle(db)
+    rows = [
+        [p.class_name, p.executions, p.materials_touched]
+        for p in chronicle.step_profiles()
+    ]
+    print(format_table(["step class", "runs", "materials"], rows,
+                       align_right=(1, 2)))
+    census = {s: n for s, n in db.sets.state_census().items() if n}
+    print(f"\nfinal state census: {census}")
+    if args.db:
+        db.storage.close()
+        print(f"database saved to {args.db}")
+    return 0
+
+
+def _open_program(db_path: str) -> tuple[Program, LabBase]:
+    db = LabBase(ObjectStoreSM(path=db_path))
+    return Program(db=db), db
+
+
+def _print_solutions(program: Program, query: str, limit: int) -> None:
+    try:
+        shown = 0
+        for row in program.solve(query):
+            print("  " + (", ".join(f"{k} = {v!r}" for k, v in row.items())
+                          if row else "yes"))
+            shown += 1
+            if shown >= limit:
+                print(f"  ... (stopped at {limit} solutions)")
+                break
+        if shown == 0:
+            print("  no")
+    except Exception as exc:
+        print(f"  error: {exc}", file=sys.stderr)
+
+
+def cmd_record(args) -> int:
+    from repro.benchmark import LabFlowWorkload, TracingServer
+    from repro.storage import OStoreMM
+
+    config = BenchmarkConfig(clones_per_interval=args.clones, seed=args.seed)
+    traced = TracingServer(LabBase(OStoreMM()))
+    LabFlowWorkload(traced, config).run_all()
+    with open(args.trace, "w") as fp:
+        traced.trace.dump(fp)
+    counts = traced.trace.operations()
+    print(f"recorded {len(traced.trace)} events to {args.trace}: {counts}")
+    return 0
+
+
+def cmd_replay(args) -> int:
+    from repro.benchmark import Trace, replay
+    from repro.util.timing import ResourceMeter
+
+    with open(args.trace) as fp:
+        trace = Trace.load(fp)
+    config = BenchmarkConfig(db_dir=args.db_dir)
+    sm = server_spec(args.server).make(config)
+    db = LabBase(sm)
+    meter = ResourceMeter(fault_source=sm.stats)
+    meter.start()
+    counts = replay(trace, db)
+    usage = meter.lap(size_bytes=sm.size_bytes())
+    print(f"replayed {sum(counts.values())} events onto {args.server}")
+    for resource, value in usage.as_rows():
+        print(f"  {resource:14s} {value}")
+    sm.close()
+    return 0
+
+
+def cmd_query(args) -> int:
+    program, db = _open_program(args.db)
+    _print_solutions(program, args.goal, args.limit)
+    db.storage.close()
+    return 0
+
+
+def cmd_shell(args) -> int:
+    program, db = _open_program(args.db)
+    print("LabBase deductive shell — end queries with '.', 'quit.' to exit")
+    while True:
+        try:
+            line = input("?- ").strip()
+        except (EOFError, KeyboardInterrupt):
+            break
+        if not line:
+            continue
+        if line in ("quit.", "quit", "halt."):
+            break
+        _print_solutions(program, line, args.limit)
+    db.storage.close()
+    return 0
+
+
+# -- parser -------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LabFlow-1 workflow-management benchmark (EDBT 1996 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_scale(p):
+        p.add_argument("--clones", type=int, default=15,
+                       help="clones per 0.5X interval (default 15)")
+        p.add_argument("--seed", type=int, default=1996)
+        p.add_argument("--db-dir", default=None,
+                       help="directory for database files (default: in-memory)")
+
+    p = sub.add_parser("compare", help="the Section 10 five-server table")
+    add_scale(p)
+    p.add_argument("--servers", nargs="*", choices=SERVER_ORDER,
+                   help="subset of server versions")
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("run", help="run the stream on one server version")
+    add_scale(p)
+    p.add_argument("--server", choices=SERVER_ORDER, default="OStore")
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("graph", help="print the workflow graph (Appendix B)")
+    p.add_argument("--workflow", help="workflow DSL file (default: genome)")
+    p.set_defaults(func=cmd_graph)
+
+    p = sub.add_parser("eer", help="print the EER schema (Figure 1)")
+    p.add_argument("--workflow", help="workflow DSL file (default: genome)")
+    p.set_defaults(func=cmd_eer)
+
+    p = sub.add_parser("demo", help="run a workflow and print lab reports")
+    p.add_argument("--workflow", help="workflow DSL file (default: genome)")
+    p.add_argument("--clones", type=int, default=10)
+    p.add_argument("--seed", type=int, default=1996)
+    p.add_argument("--db", default=None, help="persist the database here")
+    p.set_defaults(func=cmd_demo)
+
+    p = sub.add_parser("record", help="record the benchmark stream to a trace file")
+    p.add_argument("trace", help="output trace file (JSON lines)")
+    p.add_argument("--clones", type=int, default=10)
+    p.add_argument("--seed", type=int, default=1996)
+    p.set_defaults(func=cmd_record)
+
+    p = sub.add_parser("replay", help="replay a trace onto a server version")
+    p.add_argument("trace", help="trace file produced by 'record'")
+    p.add_argument("--server", choices=SERVER_ORDER, default="OStore")
+    p.add_argument("--db-dir", default=None)
+    p.set_defaults(func=cmd_replay)
+
+    p = sub.add_parser("query", help="run one deductive query on a database")
+    p.add_argument("db", help="database file (ObjectStoreSM format)")
+    p.add_argument("goal", help="the query, e.g. \"state(M, S).\"")
+    p.add_argument("--limit", type=int, default=25)
+    p.set_defaults(func=cmd_query)
+
+    p = sub.add_parser("shell", help="interactive deductive shell")
+    p.add_argument("db", help="database file (ObjectStoreSM format)")
+    p.add_argument("--limit", type=int, default=25)
+    p.set_defaults(func=cmd_shell)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

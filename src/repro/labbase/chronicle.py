@@ -1,0 +1,210 @@
+"""Chronicle queries: decision support over the event history.
+
+The paper notes (Section 1, citing the chronicle data model of
+Jagadish et al. and the Set Query benchmark) that workflow management
+also needs aggregation, joins and report generation "for process
+re-engineering ... but they are only part of the story".  This module
+supplies that part: read-only analytics computed from the audit trail —
+per-step throughput and latency, state-residence times, failure/rework
+rates, and a cohort funnel — the queries a lab manager runs when
+re-engineering the workflow.
+
+Everything here is derived purely from stored ``sm_step`` records and
+material state stamps; no extra write-path bookkeeping is added, which
+is the chronicle-model discipline: the history *is* the database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.labbase.database import LabBase
+
+
+@dataclass(frozen=True)
+class StepClassProfile:
+    """Aggregate statistics for one step class."""
+
+    class_name: str
+    executions: int
+    materials_touched: int
+    first_valid_time: int
+    last_valid_time: int
+    mean_results_per_step: float
+
+    @property
+    def span(self) -> int:
+        """Valid-time span over which this step class was active."""
+        return self.last_valid_time - self.first_valid_time
+
+    @property
+    def throughput(self) -> float:
+        """Executions per valid-time tick (0 when span is empty)."""
+        if self.span <= 0:
+            return float(self.executions)
+        return self.executions / self.span
+
+
+@dataclass
+class ReworkReport:
+    """Repeated executions of the same step on the same material.
+
+    Re-running a step on a material (the sequencing re-queue) is the
+    benchmark's rework signal; its rate is the first thing a process
+    re-engineer looks at.
+    """
+
+    class_name: str
+    materials_processed: int = 0
+    materials_reworked: int = 0
+    max_runs_on_one_material: int = 0
+
+    @property
+    def rework_rate(self) -> float:
+        if self.materials_processed == 0:
+            return 0.0
+        return self.materials_reworked / self.materials_processed
+
+
+class Chronicle:
+    """Decision-support queries over a LabBase event history."""
+
+    def __init__(self, db: LabBase) -> None:
+        self._db = db
+
+    # -- per-step-class aggregation -----------------------------------------
+
+    def step_profiles(self) -> list[StepClassProfile]:
+        """One profile per step class, from a full history scan."""
+        by_class: dict[str, dict] = {}
+        for _oid, step in self._db.iter_steps():
+            version = self._db.catalog.step_version(step["class_version"])
+            acc = by_class.setdefault(
+                version.name,
+                {
+                    "executions": 0,
+                    "materials": set(),
+                    "first": step["valid_time"],
+                    "last": step["valid_time"],
+                    "results": 0,
+                },
+            )
+            acc["executions"] += 1
+            acc["materials"].update(step["involves"])
+            acc["first"] = min(acc["first"], step["valid_time"])
+            acc["last"] = max(acc["last"], step["valid_time"])
+            acc["results"] += len(step["results"])
+        profiles = [
+            StepClassProfile(
+                class_name=name,
+                executions=acc["executions"],
+                materials_touched=len(acc["materials"]),
+                first_valid_time=acc["first"],
+                last_valid_time=acc["last"],
+                mean_results_per_step=acc["results"] / acc["executions"],
+            )
+            for name, acc in by_class.items()
+        ]
+        profiles.sort(key=lambda profile: profile.class_name)
+        return profiles
+
+    # -- rework ------------------------------------------------------------------
+
+    def rework(self, class_name: str) -> ReworkReport:
+        """How often a step class re-ran on the same material."""
+        self._db.catalog.step_class(class_name)  # raise on unknown
+        runs: dict[int, int] = {}
+        for _oid, step in self._db.iter_steps():
+            version = self._db.catalog.step_version(step["class_version"])
+            if version.name != class_name:
+                continue
+            for material_oid in step["involves"]:
+                runs[material_oid] = runs.get(material_oid, 0) + 1
+        report = ReworkReport(class_name=class_name)
+        report.materials_processed = len(runs)
+        report.materials_reworked = sum(1 for count in runs.values() if count > 1)
+        report.max_runs_on_one_material = max(runs.values(), default=0)
+        return report
+
+    # -- per-material timeline --------------------------------------------------------
+
+    def cycle_time(self, material_oid: int) -> int:
+        """Valid-time span from a material's first step to its last."""
+        history = self._db.material_history(material_oid)
+        if not history:
+            return 0
+        times = [step["valid_time"] for _oid, step in history]
+        return max(times) - min(times)
+
+    def cycle_time_statistics(
+        self, material_oids: list[int]
+    ) -> dict[str, float]:
+        """min/mean/max cycle time over a cohort (Q6-style aggregation)."""
+        times = [self.cycle_time(oid) for oid in material_oids]
+        times = [t for t in times if t > 0]
+        if not times:
+            return {"count": 0, "min": 0.0, "mean": 0.0, "max": 0.0}
+        return {
+            "count": len(times),
+            "min": float(min(times)),
+            "mean": sum(times) / len(times),
+            "max": float(max(times)),
+        }
+
+    def steps_between(
+        self, material_oid: int, start: int, end: int
+    ) -> list[tuple[int, dict]]:
+        """The material's steps with valid time in [start, end]."""
+        return [
+            (oid, step)
+            for oid, step in self._db.material_history(material_oid)
+            if start <= step["valid_time"] <= end
+        ]
+
+    # -- the funnel -------------------------------------------------------------------
+
+    def funnel(self, class_name: str, step_order: list[str]) -> list[tuple[str, int]]:
+        """How many materials of a class reached each step of a pipeline.
+
+        The classic re-engineering view: where does work pile up?
+        ``step_order`` is the expected pipeline; counts are materials of
+        ``class_name`` (exact class, no is-a rollup) whose history
+        contains at least one step of each class.
+        """
+        reached: dict[str, set[int]] = {name: set() for name in step_order}
+        wanted = set(step_order)
+        for _oid, step in self._db.iter_steps():
+            version = self._db.catalog.step_version(step["class_version"])
+            if version.name not in wanted:
+                continue
+            for material_oid in step["involves"]:
+                material = self._db.material(material_oid)
+                if material["class_name"] == class_name:
+                    reached[version.name].add(material_oid)
+        return [(name, len(reached[name])) for name in step_order]
+
+    # -- attribute analytics -------------------------------------------------------------
+
+    def value_distribution(
+        self, class_name: str, attribute: str
+    ) -> dict[str, float]:
+        """min/mean/max of a numeric attribute's *current* values over a
+        material class (with is-a rollup)."""
+        values: list[float] = []
+        for oid, material in self._db.iter_materials():
+            if not self._db.catalog.is_subclass(material["class_name"], class_name):
+                continue
+            try:
+                value = self._db.most_recent(oid, attribute)
+            except Exception:
+                continue
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                values.append(float(value))
+        if not values:
+            return {"count": 0, "min": 0.0, "mean": 0.0, "max": 0.0}
+        return {
+            "count": len(values),
+            "min": min(values),
+            "mean": sum(values) / len(values),
+            "max": max(values),
+        }

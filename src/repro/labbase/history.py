@@ -1,0 +1,138 @@
+"""Event-history lists.
+
+Every step applied to a material is appended to the material's history —
+the audit trail at the heart of the benchmark.  Histories are stored as
+chains of fixed-size nodes in the *cold* ``history`` segment: the newest
+node is the list head (referenced from the hot ``sm_material`` record),
+and each node points at the next-older one.  Append therefore touches at
+most the head node; full-history scans (Q7) walk the chain newest-first.
+
+The paper's "structures for rapid access into history lists" — the
+most-recent index — lives in the material record itself (see
+``repro.labbase.model.update_recent``); this module provides the list
+mechanics plus the slow path that scans history when the index is
+disabled (ablation A1) or must be rebuilt after a retraction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.labbase import model
+from repro.storage.base import StorageManager
+
+
+class HistoryStore:
+    """History-list operations over a storage manager."""
+
+    def __init__(
+        self,
+        sm: StorageManager,
+        segment: str | None,
+        chunk: int = model.HISTORY_CHUNK,
+    ) -> None:
+        if chunk < 1:
+            raise ValueError("history chunk must be at least 1")
+        self._sm = sm
+        self._segment = segment
+        self._chunk = chunk
+
+    # -- append ----------------------------------------------------------------
+
+    def append(self, material: dict, step_oid: int) -> None:
+        """Link a step into a material's history (newest at the head).
+
+        Mutates the material record in memory; the caller persists it
+        (it is rewriting the material anyway to update the index).
+        """
+        head_oid = material["history_head"]
+        if head_oid != model.NIL:
+            head = self._sm.read(head_oid)
+            if len(head["step_oids"]) < self._chunk:
+                head["step_oids"].append(step_oid)
+                self._sm.write(head_oid, head)
+                material["history_len"] += 1
+                return
+        node = model.make_history_node([step_oid], next_node=head_oid)
+        new_head = self._sm.allocate_write(node, segment=self._segment)
+        material["history_head"] = new_head
+        material["history_len"] += 1
+
+    # -- scans ------------------------------------------------------------------
+
+    def step_oids(self, material: dict) -> Iterator[int]:
+        """All step oids for a material, newest insertion first."""
+        node_oid = material["history_head"]
+        while node_oid != model.NIL:
+            node = self._sm.read(node_oid)
+            yield from reversed(node["step_oids"])
+            node_oid = node["next"]
+
+    def steps(self, material: dict) -> Iterator[tuple[int, dict]]:
+        """(oid, record) pairs for a material's steps, newest first."""
+        for step_oid in self.step_oids(material):
+            yield step_oid, self._sm.read(step_oid)
+
+    def steps_by_valid_time(self, material: dict) -> list[tuple[int, dict]]:
+        """(oid, record) pairs ordered newest valid time first.
+
+        Insertion order and valid-time order differ when results are
+        entered late; queries about "the" history use valid time.
+        """
+        entries = list(self.steps(material))
+        entries.sort(key=lambda pair: pair[1]["valid_time"], reverse=True)
+        return entries
+
+    # -- most-recent, the slow way --------------------------------------------------
+
+    def scan_most_recent(self, material: dict, attribute: str) -> tuple[int, int, object] | None:
+        """Find the most-recent value by scanning history.
+
+        Returns ``(valid_time, step_oid, value)`` for the step with the
+        greatest valid time that records ``attribute``, or None.  This is
+        the path the most-recent index exists to avoid; the ablation A1
+        and index rebuilds (after retraction) use it.
+        """
+        best: tuple[int, int, object] | None = None
+        for step_oid, step in self.steps(material):
+            try:
+                value = model.step_result(step, attribute)
+            except KeyError:
+                continue
+            valid_time = step["valid_time"]
+            if best is None or valid_time > best[0]:
+                best = (valid_time, step_oid, value)
+        return best
+
+    def rebuild_recent(self, material: dict) -> None:
+        """Recompute the whole most-recent index from history.
+
+        Needed after a step retraction, which can expose older values.
+        Mutates the material record; caller persists.
+        """
+        material["recent"] = {}
+        # Walk oldest-to-newest so update_recent's tie-breaking (later
+        # call wins on equal valid time) reproduces insertion order.
+        entries = list(self.steps(material))
+        for step_oid, step in reversed(entries):
+            for attr, value in step["results"]:
+                model.update_recent(
+                    material, attr, step["valid_time"], step_oid, value
+                )
+
+    def remove_step(self, material: dict, step_oid: int) -> bool:
+        """Unlink a step from a material's history (retraction).
+
+        Returns True if found.  The step record itself is deleted by the
+        caller once every involved material is unlinked.
+        """
+        node_oid = material["history_head"]
+        while node_oid != model.NIL:
+            node = self._sm.read(node_oid)
+            if step_oid in node["step_oids"]:
+                node["step_oids"].remove(step_oid)
+                self._sm.write(node_oid, node)
+                material["history_len"] -= 1
+                return True
+            node_oid = node["next"]
+        return False

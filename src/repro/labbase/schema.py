@@ -1,0 +1,114 @@
+"""User-level schema: material classes, step classes, and versions.
+
+The benchmark's EER schema (paper Figure 1) has two levels: an upper
+level fixed by the benchmark — *materials* and *steps* connected by an
+``involves`` relationship, with is-a specialisation below each — and a
+lower level defined by the particular workflow (clones, tclones, gels;
+associate_tclone, determine_sequence, ...).
+
+Step classes *evolve*: the lab adds or drops attributes as its process
+changes.  Following Section 5.1, a step-class **version** is identified
+by its attribute set; stored steps remain bound forever to the version
+that created them, so schema changes never touch old data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class MaterialClass:
+    """A kind of laboratory material (EER entity below ``material``).
+
+    ``parent`` expresses the EER is-a link (e.g. ``tclone`` is-a
+    ``clone``-derived material); the root classes have ``parent=None``.
+    """
+
+    name: str
+    key_attribute: str = "name"
+    description: str = ""
+    parent: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("material class needs a name")
+        if not self.key_attribute:
+            raise SchemaError(f"material class {self.name!r} needs a key attribute")
+
+
+@dataclass(frozen=True)
+class StepClassVersion:
+    """One immutable version of a step class.
+
+    Identified by its attribute set: registering a step class whose
+    attributes differ from every existing version creates a new version
+    (the paper's schema-evolution mechanism); re-registering an existing
+    attribute set returns the old version.
+    """
+
+    version_id: int
+    name: str
+    attributes: tuple[str, ...]
+    involves_classes: tuple[str, ...]
+    description: str = ""
+
+    @property
+    def attribute_set(self) -> frozenset[str]:
+        return frozenset(self.attributes)
+
+    def validate_results(self, results: dict[str, object]) -> None:
+        """Reject results naming attributes this version does not declare."""
+        unknown = set(results) - self.attribute_set
+        if unknown:
+            raise SchemaError(
+                f"step class {self.name!r} v{self.version_id} does not declare "
+                f"attributes {sorted(unknown)} (declares {sorted(self.attributes)})"
+            )
+
+    def to_meta(self) -> dict:
+        return {
+            "version_id": self.version_id,
+            "name": self.name,
+            "attributes": list(self.attributes),
+            "involves_classes": list(self.involves_classes),
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_meta(cls, meta: dict) -> "StepClassVersion":
+        return cls(
+            version_id=meta["version_id"],
+            name=meta["name"],
+            attributes=tuple(meta["attributes"]),
+            involves_classes=tuple(meta["involves_classes"]),
+            description=meta.get("description", ""),
+        )
+
+
+@dataclass
+class StepClass:
+    """A named step class: the sequence of its versions, newest last."""
+
+    name: str
+    versions: list[StepClassVersion] = field(default_factory=list)
+
+    @property
+    def current(self) -> StepClassVersion:
+        if not self.versions:
+            raise SchemaError(f"step class {self.name!r} has no versions")
+        return self.versions[-1]
+
+    def find_version(self, attributes: frozenset[str]) -> StepClassVersion | None:
+        for version in self.versions:
+            if version.attribute_set == attributes:
+                return version
+        return None
+
+    def version_by_id(self, version_id: int) -> StepClassVersion:
+        for version in self.versions:
+            if version.version_id == version_id:
+                return version
+        raise SchemaError(f"step class {self.name!r} has no version {version_id}")

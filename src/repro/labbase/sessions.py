@@ -1,0 +1,144 @@
+"""Multi-client sessions over LabBase.
+
+Section 10's usability comparison: ObjectStore "offers concurrent
+access with lock based concurrency control implemented in a page
+server", while "Texas does not support concurrent access".  This module
+surfaces that difference at the LabBase level: a :class:`Session` is a
+named client whose updates take page locks on the materials they touch,
+so two sessions of a multi-user lab (data entry, a BLAST daemon, a
+report writer) can be driven against one LabBase and their conflicts
+observed.
+
+On a storage manager without concurrency support, opening a second
+session raises — the Texas behaviour.  The simulation is single-process
+(sessions interleave, they do not run in parallel), so a conflicting
+lock raises :class:`~repro.errors.LockError` where a real client would
+block; callers handle it the way 1996 applications did: release and
+retry.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConcurrencyUnsupportedError, LabBaseError
+from repro.labbase.database import LabBase
+
+
+class Session:
+    """One named client working through a shared LabBase."""
+
+    def __init__(self, manager: "SessionManager", name: str) -> None:
+        self._manager = manager
+        self.name = name
+        self.closed = False
+
+    @property
+    def db(self) -> LabBase:
+        return self._manager.db
+
+    def _check(self) -> None:
+        if self.closed:
+            raise LabBaseError(f"session {self.name!r} is closed")
+
+    # -- locking -------------------------------------------------------------
+
+    def lock_material(self, material_oid: int, exclusive: bool = False) -> None:
+        """Lock the page(s) holding a material's record."""
+        self._check()
+        self._manager.lock_object(self.name, material_oid, exclusive)
+
+    # -- locked operations ---------------------------------------------------------
+
+    def record_step(
+        self,
+        class_name: str,
+        valid_time: int,
+        involves,
+        results=None,
+        version_id=None,
+    ) -> int:
+        """U1 under exclusive locks on every involved material."""
+        self._check()
+        involved = [int(oid) for oid in involves]
+        for material_oid in involved:
+            self.lock_material(material_oid, exclusive=True)
+        return self.db.record_step(
+            class_name, valid_time, involved, results, version_id
+        )
+
+    def set_state(self, material_oid: int, state: str, valid_time: int) -> None:
+        """U3 under an exclusive lock on the material."""
+        self._check()
+        self.lock_material(material_oid, exclusive=True)
+        self.db.set_state(material_oid, state, valid_time)
+
+    def most_recent(self, material_oid: int, attribute: str):
+        """Q2 under a shared lock on the material."""
+        self._check()
+        self.lock_material(material_oid, exclusive=False)
+        return self.db.most_recent(material_oid, attribute)
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def release_locks(self) -> int:
+        """Release every lock this session holds (end of transaction)."""
+        self._check()
+        return self._manager.release(self.name)
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self._manager.release(self.name)
+        self._manager.detach(self.name)
+        self.closed = True
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SessionManager:
+    """Opens sessions against one LabBase, enforcing SM concurrency rules."""
+
+    def __init__(self, db: LabBase) -> None:
+        self.db = db
+        self._sm = db.storage
+        self._sessions: dict[str, Session] = {}
+        if not hasattr(self._sm, "attach_client"):
+            raise ConcurrencyUnsupportedError(
+                f"{self._sm.name} has no client-session support at all"
+            )
+
+    def open_session(self, name: str) -> Session:
+        """Attach a named client; Texas refuses the second one."""
+        if name in self._sessions:
+            raise LabBaseError(f"session {name!r} already open")
+        self._sm.attach_client(name)  # may raise ConcurrencyUnsupportedError
+        session = Session(self, name)
+        self._sessions[name] = session
+        return session
+
+    def lock_object(self, client: str, oid: int, exclusive: bool) -> None:
+        if not self._sm.supports_concurrency:
+            # single-client store: attach succeeded, locks are moot
+            return
+        for page_id in self._pages_of(oid):
+            self._sm.lock_page(client, page_id, exclusive=exclusive)
+
+    def _pages_of(self, oid: int) -> list[int]:
+        entry = self._sm._entry(oid)
+        locations = entry[1] if entry[0] == "L" else [entry]
+        return [page_id for page_id, _slot in locations]
+
+    def release(self, client: str) -> int:
+        if not self._sm.supports_concurrency:
+            return 0
+        return self._sm.unlock_all(client)
+
+    def detach(self, name: str) -> None:
+        self._sessions.pop(name, None)
+        self._sm.detach_client(name)
+
+    def open_sessions(self) -> list[str]:
+        return sorted(self._sessions)

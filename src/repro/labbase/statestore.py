@@ -1,0 +1,120 @@
+"""Material sets and workflow states.
+
+A ``material_set`` is the third storage class of Table 1: a named set of
+material oids.  LabBase uses one set per workflow state (the set of
+materials in state ``waiting_for_sequencing``, say), so the workflow
+engine's "give me everything awaiting step S" query (Q3) is one hot-
+segment read instead of a scan.
+
+State transitions are the assert/retract pair of the paper's Section 7
+rules: remove the material from its old state's set, add it to the new
+one, and stamp the material record.
+"""
+
+from __future__ import annotations
+
+from repro.errors import StateError
+from repro.labbase import model
+from repro.labbase.catalog import Catalog
+from repro.storage.base import StorageManager
+
+
+def state_set_name(state: str) -> str:
+    """Naming convention for the per-state material sets."""
+    return f"state:{state}"
+
+
+class StateStore:
+    """Named material sets, including the per-state sets."""
+
+    def __init__(self, sm: StorageManager, catalog: Catalog, segment: str | None) -> None:
+        self._sm = sm
+        self._catalog = catalog
+        self._segment = segment
+
+    # -- generic named sets ------------------------------------------------------
+
+    def ensure_set(self, name: str) -> int:
+        """Oid of the named set, creating it empty if absent."""
+        oid = self._catalog.set_directory.get(name)
+        if oid is None:
+            oid = self._sm.allocate_write(
+                model.make_material_set(name), segment=self._segment
+            )
+            self._catalog.set_directory[name] = oid
+            self._catalog.save()
+        return oid
+
+    def set_names(self) -> list[str]:
+        return sorted(self._catalog.set_directory)
+
+    def members(self, name: str) -> list[int]:
+        oid = self._catalog.set_directory.get(name)
+        if oid is None:
+            return []
+        return list(self._sm.read(oid)["members"])
+
+    def add_member(self, name: str, material_oid: int) -> None:
+        oid = self.ensure_set(name)
+        record = self._sm.read(oid)
+        if material_oid not in record["members"]:
+            record["members"].append(material_oid)
+            self._sm.write(oid, record)
+
+    def remove_member(self, name: str, material_oid: int) -> bool:
+        oid = self._catalog.set_directory.get(name)
+        if oid is None:
+            return False
+        record = self._sm.read(oid)
+        try:
+            record["members"].remove(material_oid)
+        except ValueError:
+            return False
+        self._sm.write(oid, record)
+        return True
+
+    def cardinality(self, name: str) -> int:
+        oid = self._catalog.set_directory.get(name)
+        if oid is None:
+            return 0
+        return len(self._sm.read(oid)["members"])
+
+    # -- workflow states -----------------------------------------------------------
+
+    def enter_state(
+        self, material_oid: int, material: dict, state: str, valid_time: int
+    ) -> None:
+        """assert(state(M, new)) after retract(state(M, old)).
+
+        Mutates the material record (caller persists it) and maintains
+        the per-state sets.
+        """
+        old_state = material["state"]
+        if old_state is not None:
+            self.remove_member(state_set_name(old_state), material_oid)
+        self.add_member(state_set_name(state), material_oid)
+        material["state"] = state
+        material["state_since"] = int(valid_time)
+
+    def leave_state(self, material_oid: int, material: dict) -> str:
+        """retract(state(M, S)) with no replacement (material retires)."""
+        old_state = material["state"]
+        if old_state is None:
+            raise StateError(f"material {material_oid} has no state to retract")
+        self.remove_member(state_set_name(old_state), material_oid)
+        material["state"] = None
+        material["state_since"] = None
+        return old_state
+
+    def in_state(self, state: str) -> list[int]:
+        """Material oids currently in a workflow state (query Q3)."""
+        return self.members(state_set_name(state))
+
+    def state_census(self) -> dict[str, int]:
+        """State name -> population, over all per-state sets."""
+        census = {}
+        prefix = state_set_name("")
+        for name in self._catalog.set_directory:
+            if name.startswith(prefix):
+                census[name[len(prefix):]] = self.cardinality(name)
+        return census

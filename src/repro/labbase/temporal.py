@@ -1,0 +1,54 @@
+"""Valid-time utilities.
+
+The benchmark's temporal semantics follow the paper's Section 7: "most
+recent" is defined over **valid time** (when the lab event actually
+happened), not transaction time (when it reached the database), because
+results are routinely entered late and out of order.
+
+Valid times in this library are plain integers — ticks of a
+:class:`LabClock` — which keeps workloads deterministic and comparisons
+exact.  The clock can also be *skewed* to mint late-arriving timestamps,
+which the workload generator uses to exercise out-of-order entry.
+"""
+
+from __future__ import annotations
+
+from repro.errors import BenchmarkError
+
+
+class LabClock:
+    """Monotonic valid-time source with controlled backdating."""
+
+    def __init__(self, start: int = 0) -> None:
+        self._now = int(start)
+
+    @property
+    def now(self) -> int:
+        """Current valid time (does not advance)."""
+        return self._now
+
+    def tick(self, amount: int = 1) -> int:
+        """Advance and return the new valid time."""
+        if amount < 1:
+            raise BenchmarkError("clock can only move forward")
+        self._now += amount
+        return self._now
+
+    def backdated(self, lag: int) -> int:
+        """A valid time ``lag`` ticks in the past (late data entry).
+
+        Never returns a negative time; a lag beyond the epoch clamps to 0.
+        """
+        if lag < 0:
+            raise BenchmarkError("lag must be non-negative")
+        return max(0, self._now - lag)
+
+
+def newer(valid_time_a: int, valid_time_b: int) -> bool:
+    """Strictly newer in valid time."""
+    return valid_time_a > valid_time_b
+
+
+def within(valid_time: int, start: int, end: int) -> bool:
+    """Whether a valid time falls in the closed interval [start, end]."""
+    return start <= valid_time <= end

@@ -1,0 +1,88 @@
+"""Read-only views over materials.
+
+Section 7 of the paper defines a *view* of the event history so that
+queries can treat a material as an object whose attributes are its
+most-recent values — while the view definition itself stays independent
+of the workflow, so workflow changes never force view changes.
+
+:class:`MaterialView` is that view as a Python mapping; the deductive
+query language exposes the same view through its ``value_of/3``,
+``state/2`` and ``history/2`` base predicates (see
+``repro.query.program``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Iterator
+
+from repro.errors import UnknownAttributeError
+from repro.labbase.database import LabBase
+
+
+class MaterialView(Mapping):
+    """Mapping view of a material's current attributes.
+
+    The view is computed lazily per access, so it always reflects the
+    database — it is a *view*, not a snapshot.  ``len``/iteration
+    enumerate the attributes the material currently has, which (as the
+    paper stresses) depends on its history, not only its class.
+    """
+
+    def __init__(self, db: LabBase, material_oid: int) -> None:
+        self._db = db
+        self.oid = material_oid
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def class_name(self) -> str:
+        return self._db.material(self.oid)["class_name"]
+
+    @property
+    def key(self) -> str:
+        return self._db.material(self.oid)["key"]
+
+    @property
+    def state(self) -> str | None:
+        return self._db.state_of(self.oid)
+
+    # -- Mapping protocol -----------------------------------------------------
+
+    def __getitem__(self, attribute: str) -> object:
+        try:
+            return self._db.most_recent(self.oid, attribute)
+        except UnknownAttributeError:
+            raise KeyError(attribute) from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._db.current_attributes(self.oid))
+
+    def __len__(self) -> int:
+        return len(self._db.current_attributes(self.oid))
+
+    def __contains__(self, attribute: object) -> bool:
+        if not isinstance(attribute, str):
+            return False
+        return self._db.has_attribute(self.oid, attribute)
+
+    def __repr__(self) -> str:
+        return (
+            f"MaterialView({self.class_name}:{self.key}, state={self.state!r}, "
+            f"attrs={sorted(self._db.current_attributes(self.oid))})"
+        )
+
+    # -- history access ----------------------------------------------------------
+
+    def history(self) -> list[tuple[int, dict]]:
+        """The material's audit trail, newest valid time first."""
+        return self._db.material_history(self.oid)
+
+    def as_dict(self) -> dict[str, object]:
+        """A plain-dict snapshot of the current attributes."""
+        return self._db.current_attributes(self.oid)
+
+
+def view(db: LabBase, class_name: str, key: str) -> MaterialView:
+    """Look a material up by (class, key) and wrap it in a view."""
+    return MaterialView(db, db.lookup(class_name, key))

@@ -1,0 +1,35 @@
+"""The deductive query language (Datalog/Prolog-style, per Section 6).
+
+Typical use::
+
+    from repro.query import Program
+
+    program = Program(db=labbase, text='''
+        ready(M) <- state(M, waiting_for_sequencing).
+    ''')
+    for row in program.solve("ready(M), value_of(M, position, P)."):
+        print(row["M"], row["P"])
+"""
+
+from repro.query import ast
+from repro.query.engine import Engine
+from repro.query.library import (
+    STANDARD_LIBRARY,
+    load_standard_library,
+    new_program_with_library,
+)
+from repro.query.parser import parse_program, parse_query, parse_term
+from repro.query.program import Program, RuleBase
+
+__all__ = [
+    "ast",
+    "STANDARD_LIBRARY",
+    "load_standard_library",
+    "new_program_with_library",
+    "Engine",
+    "Program",
+    "RuleBase",
+    "parse_program",
+    "parse_query",
+    "parse_term",
+]

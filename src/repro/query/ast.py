@@ -1,0 +1,198 @@
+"""Term representation for the deductive query language.
+
+The paper queries LabBase in "a deductive language in the tradition of
+Datalog and Prolog".  Terms are:
+
+* :class:`Var` — logic variables (``X``, ``Material``);
+* :class:`Const` — Python constants (numbers, strings, atoms-as-strings);
+* :class:`Struct` — compound terms ``f(t1, ..., tn)``; predicates are
+  structs used as goals.  Lists use the conventional ``'.'``/``'[]'``
+  encoding with helpers to convert to and from Python lists.
+
+Atoms are represented as :class:`Const` of ``Sym`` (an interned symbol
+type distinct from ``str``) so that the atom ``foo`` and the string
+``"foo"`` do not unify — the same distinction Prolog draws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+_SYMBOLS: dict[str, "Sym"] = {}
+
+
+class Sym(str):
+    """An interned atom name (subclass of str, but a distinct type)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Sym({str.__repr__(self)})"
+
+
+def sym(name: str) -> Sym:
+    """Intern an atom name."""
+    existing = _SYMBOLS.get(name)
+    if existing is None:
+        existing = Sym(name)
+        _SYMBOLS[name] = existing
+    return existing
+
+
+@dataclass(frozen=True)
+class Var:
+    """A logic variable.  ``ordinal`` disambiguates renamed copies."""
+
+    name: str
+    ordinal: int = 0
+
+    def __repr__(self) -> str:
+        if self.ordinal:
+            return f"{self.name}_{self.ordinal}"
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const:
+    """A ground constant: Sym (atom), str, int, float, bool or None."""
+
+    value: object
+
+    def __repr__(self) -> str:
+        if isinstance(self.value, Sym):
+            return str(self.value)
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Struct:
+    """A compound term ``functor(args...)``; also serves as a goal."""
+
+    functor: str
+    args: tuple
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    @property
+    def indicator(self) -> str:
+        """The ``name/arity`` predicate indicator."""
+        return f"{self.functor}/{self.arity}"
+
+    def __repr__(self) -> str:
+        if self.functor == "." and self.arity == 2:
+            return _repr_list(self)
+        if not self.args:
+            return self.functor
+        return f"{self.functor}({', '.join(map(repr, self.args))})"
+
+
+Term = object  # Var | Const | Struct (kept loose: terms flow through dicts)
+
+EMPTY_LIST = Struct("[]", ())
+
+
+def cons(head: Term, tail: Term) -> Struct:
+    return Struct(".", (head, tail))
+
+
+def list_term(items: Iterable[Term], tail: Term = EMPTY_LIST) -> Term:
+    """Build a list term from Python items (right-folded cons cells)."""
+    result = tail
+    for item in reversed(list(items)):
+        result = cons(item, result)
+    return result
+
+
+def iter_list(term: Term) -> Iterable[Term]:
+    """Iterate the elements of a *proper* list term.
+
+    Raises :class:`ValueError` on partial lists (variable tails) so
+    builtins can report instantiation errors precisely.
+    """
+    while True:
+        if isinstance(term, Struct) and term.functor == "." and term.arity == 2:
+            yield term.args[0]
+            term = term.args[1]
+        elif isinstance(term, Struct) and term.functor == "[]" and term.arity == 0:
+            return
+        else:
+            raise ValueError(f"not a proper list: {term!r}")
+
+
+def is_list(term: Term) -> bool:
+    try:
+        for _ in iter_list(term):
+            pass
+    except ValueError:
+        return False
+    return True
+
+
+def _repr_list(term: Struct) -> str:
+    items = []
+    while isinstance(term, Struct) and term.functor == "." and term.arity == 2:
+        items.append(repr(term.args[0]))
+        term = term.args[1]
+    if isinstance(term, Struct) and term.functor == "[]":
+        return f"[{', '.join(items)}]"
+    return f"[{', '.join(items)}|{term!r}]"
+
+
+@dataclass(frozen=True)
+class Neg:
+    """Negation as failure: ``\\+ Goal``."""
+
+    goal: Term
+
+    def __repr__(self) -> str:
+        return f"\\+ {self.goal!r}"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """``head <- body``; a fact is a rule with an empty body."""
+
+    head: Struct
+    body: tuple
+
+    @property
+    def is_fact(self) -> bool:
+        return not self.body
+
+    def __repr__(self) -> str:
+        if self.is_fact:
+            return f"{self.head!r}."
+        body = ", ".join(map(repr, self.body))
+        return f"{self.head!r} <- {body}."
+
+
+def python_to_term(value: object) -> Term:
+    """Lift a plain Python value into a term.
+
+    Python lists/tuples become list terms; everything else becomes a
+    :class:`Const`.  Strings stay strings (not atoms): LabBase data is
+    stringly typed and queries compare it against quoted strings.
+    """
+    if isinstance(value, (list, tuple)):
+        return list_term([python_to_term(item) for item in value])
+    return Const(value)
+
+
+def term_to_python(term: Term) -> object:
+    """Lower a ground term to a plain Python value.
+
+    Atoms lower to their names (str); list terms lower to Python lists.
+    Raises :class:`ValueError` if the term contains variables.
+    """
+    if isinstance(term, Const):
+        return str(term.value) if isinstance(term.value, Sym) else term.value
+    if isinstance(term, Struct):
+        if term.functor == "[]" and term.arity == 0:
+            return []
+        if term.functor == "." and term.arity == 2:
+            return [term_to_python(item) for item in iter_list(term)]
+        raise ValueError(f"cannot lower compound term {term!r} to Python")
+    raise ValueError(f"term is not ground: {term!r}")

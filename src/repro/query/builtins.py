@@ -1,0 +1,532 @@
+"""Builtin predicates of the deductive query language.
+
+Each builtin is a generator ``(engine, goal, subst, depth) -> substs``.
+The table :data:`CORE_BUILTINS` maps ``name/arity`` indicators to
+implementations; ``repro.query.program`` merges it with the
+LabBase-backed base predicates and the ``assert``/``retract`` pair
+(which need program state and live there).
+
+Highlights, matching the paper's Section 8 usage:
+
+* ``setof(Template, Goal, Set)`` — the paper's set-generation predicate:
+  all answers, duplicates removed, collected in sorted order; fails when
+  there are no answers (standard Prolog semantics).
+* ``findall/3`` — like setof but keeps duplicates/order and yields
+  ``[]`` for no answers.
+* ``count(Goal, N)`` and ``sum(Expr, Goal, Sum)`` — the counting
+  aggregates LabFlow-1's Q5 uses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import EvaluationError, InstantiationError
+from repro.query import ast
+from repro.query.engine import Engine
+from repro.query.unify import is_ground, resolve, unify, walk
+
+
+# ---------------------------------------------------------------------------
+# arithmetic
+# ---------------------------------------------------------------------------
+
+
+def arith_eval(term, subst: dict):
+    """Evaluate an arithmetic expression term to a Python number."""
+    term = walk(term, subst)
+    if isinstance(term, ast.Var):
+        raise InstantiationError("arithmetic expression")
+    if isinstance(term, ast.Const):
+        if isinstance(term.value, bool) or not isinstance(term.value, (int, float)):
+            raise EvaluationError(f"not a number: {term!r}")
+        return term.value
+    if isinstance(term, ast.Struct):
+        args = [arith_eval(arg, subst) for arg in term.args]
+        if term.functor == "+" and len(args) == 2:
+            return args[0] + args[1]
+        if term.functor == "-" and len(args) == 2:
+            return args[0] - args[1]
+        if term.functor == "*" and len(args) == 2:
+            return args[0] * args[1]
+        if term.functor == "/" and len(args) == 2:
+            if args[1] == 0:
+                raise EvaluationError("division by zero")
+            result = args[0] / args[1]
+            return int(result) if isinstance(args[0], int) and isinstance(
+                args[1], int
+            ) and args[0] % args[1] == 0 else result
+        if term.functor == "mod" and len(args) == 2:
+            if args[1] == 0:
+                raise EvaluationError("mod by zero")
+            return args[0] % args[1]
+        if term.functor == "abs" and len(args) == 1:
+            return abs(args[0])
+        if term.functor == "min" and len(args) == 2:
+            return min(args)
+        if term.functor == "max" and len(args) == 2:
+            return max(args)
+    raise EvaluationError(f"unknown arithmetic expression: {term!r}")
+
+
+def _bi_is(engine: Engine, goal: ast.Struct, subst: dict, depth: int) -> Iterator[dict]:
+    result = ast.Const(arith_eval(goal.args[1], subst))
+    new = unify(goal.args[0], result, subst)
+    if new is not None:
+        yield new
+
+
+def _compare(op: str, left, right) -> bool:
+    if op == "<":
+        return left < right
+    if op == ">":
+        return left > right
+    if op == "=<":
+        return left <= right
+    if op == ">=":
+        return left >= right
+    raise EvaluationError(f"unknown comparison {op}")
+
+
+def _bi_arith_compare(
+    engine: Engine, goal: ast.Struct, subst: dict, depth: int
+) -> Iterator[dict]:
+    left = arith_eval(goal.args[0], subst)
+    right = arith_eval(goal.args[1], subst)
+    if _compare(goal.functor, left, right):
+        yield subst
+
+
+# ---------------------------------------------------------------------------
+# unification & equality
+# ---------------------------------------------------------------------------
+
+
+def _bi_unify(engine, goal, subst, depth):
+    new = unify(goal.args[0], goal.args[1], subst)
+    if new is not None:
+        yield new
+
+
+def _bi_not_unify(engine, goal, subst, depth):
+    if unify(goal.args[0], goal.args[1], subst) is None:
+        yield subst
+
+
+def _bi_struct_eq(engine, goal, subst, depth):
+    if resolve(goal.args[0], subst) == resolve(goal.args[1], subst):
+        yield subst
+
+
+def _bi_struct_neq(engine, goal, subst, depth):
+    if resolve(goal.args[0], subst) != resolve(goal.args[1], subst):
+        yield subst
+
+
+# ---------------------------------------------------------------------------
+# control
+# ---------------------------------------------------------------------------
+
+
+def _bi_true(engine, goal, subst, depth):
+    yield subst
+
+
+def _bi_fail(engine, goal, subst, depth):
+    return
+    yield  # pragma: no cover
+
+
+def _bi_call(engine, goal, subst, depth):
+    yield from engine._solve((goal.args[0],), subst, depth + 1)
+
+
+def _bi_once(engine, goal, subst, depth):
+    for solution in engine._solve((goal.args[0],), subst, depth + 1):
+        yield solution
+        return
+
+
+# ---------------------------------------------------------------------------
+# type tests
+# ---------------------------------------------------------------------------
+
+
+def _bi_var(engine, goal, subst, depth):
+    if isinstance(walk(goal.args[0], subst), ast.Var):
+        yield subst
+
+
+def _bi_nonvar(engine, goal, subst, depth):
+    if not isinstance(walk(goal.args[0], subst), ast.Var):
+        yield subst
+
+
+def _bi_number(engine, goal, subst, depth):
+    term = walk(goal.args[0], subst)
+    if isinstance(term, ast.Const) and isinstance(term.value, (int, float)) \
+            and not isinstance(term.value, bool):
+        yield subst
+
+
+def _bi_atom(engine, goal, subst, depth):
+    term = walk(goal.args[0], subst)
+    if isinstance(term, ast.Const) and isinstance(term.value, ast.Sym):
+        yield subst
+
+
+def _bi_ground(engine, goal, subst, depth):
+    if is_ground(goal.args[0], subst):
+        yield subst
+
+
+# ---------------------------------------------------------------------------
+# lists
+# ---------------------------------------------------------------------------
+
+
+def _bi_member(engine, goal, subst, depth):
+    item, lst = goal.args
+    lst = walk(lst, subst)
+    while True:
+        lst = walk(lst, subst)
+        if isinstance(lst, ast.Struct) and lst.functor == "." and lst.arity == 2:
+            new = unify(item, lst.args[0], subst)
+            if new is not None:
+                yield new
+            lst = lst.args[1]
+        else:
+            return
+
+
+def _bi_length(engine, goal, subst, depth):
+    lst, length = goal.args
+    lst_walked = walk(lst, subst)
+    if isinstance(lst_walked, ast.Var):
+        raise InstantiationError("length/2")
+    try:
+        count = sum(1 for _ in ast.iter_list(resolve(lst, subst)))
+    except ValueError:
+        raise EvaluationError(f"length/2: not a proper list: {lst_walked!r}")
+    new = unify(length, ast.Const(count), subst)
+    if new is not None:
+        yield new
+
+
+_FRESH = [0]
+
+
+def _fresh(name: str) -> ast.Var:
+    _FRESH[0] += 1
+    return ast.Var(name, _FRESH[0])
+
+
+def _bi_append(engine, goal, subst, depth):
+    """Relational append/3 via the classic two clauses, inlined."""
+    front, back, whole = goal.args
+
+    def solutions(front, back, whole, subst):
+        # clause 1: append([], B, B).
+        new = unify(front, ast.EMPTY_LIST, subst)
+        if new is not None:
+            final = unify(back, whole, new)
+            if final is not None:
+                yield final
+        # clause 2: append([H|T], B, [H|R]) <- append(T, B, R).
+        head = _fresh("_AppH")
+        tail = _fresh("_AppT")
+        rest = _fresh("_AppR")
+        new = unify(front, ast.cons(head, tail), subst)
+        if new is not None:
+            final = unify(whole, ast.cons(head, rest), new)
+            if final is not None:
+                yield from solutions(tail, back, rest, final)
+
+    yield from solutions(front, back, whole, subst)
+
+
+def _bi_reverse(engine, goal, subst, depth):
+    lst, rev = goal.args
+    resolved = resolve(lst, subst)
+    try:
+        items = list(ast.iter_list(resolved))
+    except ValueError:
+        raise InstantiationError("reverse/2")
+    new = unify(rev, ast.list_term(list(reversed(items))), subst)
+    if new is not None:
+        yield new
+
+
+def _bi_between(engine, goal, subst, depth):
+    low = arith_eval(goal.args[0], subst)
+    high = arith_eval(goal.args[1], subst)
+    for value in range(int(low), int(high) + 1):
+        new = unify(goal.args[2], ast.Const(value), subst)
+        if new is not None:
+            yield new
+
+
+def _resolved_items(term, subst, context):
+    resolved = resolve(term, subst)
+    try:
+        return list(ast.iter_list(resolved))
+    except ValueError:
+        raise InstantiationError(context)
+
+
+def _bi_nth0(engine, goal, subst, depth):
+    """nth0(Index, List, Elem): 0-based element access / enumeration."""
+    items = _resolved_items(goal.args[1], subst, "nth0/3")
+    index_term = walk(goal.args[0], subst)
+    if isinstance(index_term, ast.Const):
+        index = index_term.value
+        if isinstance(index, int) and 0 <= index < len(items):
+            new = unify(goal.args[2], items[index], subst)
+            if new is not None:
+                yield new
+        return
+    for index, item in enumerate(items):
+        new = unify(goal.args[0], ast.Const(index), subst)
+        if new is None:
+            continue
+        final = unify(goal.args[2], item, new)
+        if final is not None:
+            yield final
+
+
+def _bi_last(engine, goal, subst, depth):
+    items = _resolved_items(goal.args[0], subst, "last/2")
+    if not items:
+        return
+    new = unify(goal.args[1], items[-1], subst)
+    if new is not None:
+        yield new
+
+
+def _bi_msort(engine, goal, subst, depth):
+    """msort(List, Sorted): standard order, duplicates kept."""
+    items = _resolved_items(goal.args[0], subst, "msort/2")
+    new = unify(
+        goal.args[1], ast.list_term(sorted(items, key=_sort_key)), subst
+    )
+    if new is not None:
+        yield new
+
+
+def _bi_sort(engine, goal, subst, depth):
+    """sort(List, Sorted): standard order, duplicates removed."""
+    items = _resolved_items(goal.args[0], subst, "sort/2")
+    unique: list = []
+    seen = set()
+    for item in sorted(items, key=_sort_key):
+        key = _sort_key(item)
+        if key not in seen:
+            seen.add(key)
+            unique.append(item)
+    new = unify(goal.args[1], ast.list_term(unique), subst)
+    if new is not None:
+        yield new
+
+
+def _bi_sum_list(engine, goal, subst, depth):
+    items = _resolved_items(goal.args[0], subst, "sum_list/2")
+    total: float | int = 0
+    for item in items:
+        total += arith_eval(item, subst)
+    new = unify(goal.args[1], ast.Const(total), subst)
+    if new is not None:
+        yield new
+
+
+def _bi_max_list(engine, goal, subst, depth):
+    items = _resolved_items(goal.args[0], subst, "max_list/2")
+    if not items:
+        return
+    best = max(arith_eval(item, subst) for item in items)
+    new = unify(goal.args[1], ast.Const(best), subst)
+    if new is not None:
+        yield new
+
+
+def _bi_min_list(engine, goal, subst, depth):
+    items = _resolved_items(goal.args[0], subst, "min_list/2")
+    if not items:
+        return
+    best = min(arith_eval(item, subst) for item in items)
+    new = unify(goal.args[1], ast.Const(best), subst)
+    if new is not None:
+        yield new
+
+
+def _bi_forall(engine, goal, subst, depth):
+    """forall(Cond, Action): no Cond solution where Action fails."""
+    condition, action = goal.args
+    for solution in engine._solve((condition,), subst, depth + 1):
+        if not any(engine._solve((action,), solution, depth + 1)):
+            return
+    yield subst
+
+
+def _bi_atom_length(engine, goal, subst, depth):
+    term = walk(goal.args[0], subst)
+    if isinstance(term, ast.Var):
+        raise InstantiationError("atom_length/2")
+    if not (isinstance(term, ast.Const) and isinstance(term.value, (str,))):
+        raise EvaluationError(f"atom_length/2: not an atom or string: {term!r}")
+    new = unify(goal.args[1], ast.Const(len(term.value)), subst)
+    if new is not None:
+        yield new
+
+
+def _bi_atom_concat(engine, goal, subst, depth):
+    """atom_concat(A, B, C) with A and B bound."""
+    left = walk(goal.args[0], subst)
+    right = walk(goal.args[1], subst)
+    if isinstance(left, ast.Var) or isinstance(right, ast.Var):
+        raise InstantiationError("atom_concat/3")
+    for part in (left, right):
+        if not (isinstance(part, ast.Const) and isinstance(part.value, str)):
+            raise EvaluationError(f"atom_concat/3: not an atom: {part!r}")
+    joined = str(left.value) + str(right.value)
+    result = ast.Const(ast.sym(joined)) if (
+        isinstance(left.value, ast.Sym) or isinstance(right.value, ast.Sym)
+    ) else ast.Const(joined)
+    new = unify(goal.args[2], result, subst)
+    if new is not None:
+        yield new
+
+
+# ---------------------------------------------------------------------------
+# aggregation
+# ---------------------------------------------------------------------------
+
+
+def _sort_key(term):
+    """Total order over ground terms for setof/3."""
+    if isinstance(term, ast.Const):
+        value = term.value
+        if isinstance(value, bool):
+            return (0, str(value))
+        if isinstance(value, (int, float)):
+            return (1, value)
+        if isinstance(value, ast.Sym):
+            return (2, str(value))
+        if isinstance(value, str):
+            return (3, value)
+        return (4, repr(value))
+    if isinstance(term, ast.Struct):
+        return (5, term.functor, tuple(_sort_key(arg) for arg in term.args))
+    return (6, repr(term))
+
+
+def _collect(engine, template, goal, subst, depth):
+    results = []
+    for solution in engine._solve((goal,), subst, depth + 1):
+        results.append(resolve(template, solution))
+    return results
+
+
+def _bi_findall(engine, goal, subst, depth):
+    template, inner, out = goal.args
+    results = _collect(engine, template, inner, subst, depth)
+    new = unify(out, ast.list_term(results), subst)
+    if new is not None:
+        yield new
+
+
+def _bi_setof(engine, goal, subst, depth):
+    template, inner, out = goal.args
+    results = _collect(engine, template, inner, subst, depth)
+    if not results:
+        return  # standard Prolog: setof fails on no solutions
+    unique: list = []
+    seen = set()
+    for term in sorted(results, key=_sort_key):
+        key = _sort_key(term)
+        if key not in seen:
+            seen.add(key)
+            unique.append(term)
+    new = unify(out, ast.list_term(unique), subst)
+    if new is not None:
+        yield new
+
+
+def _bi_count(engine, goal, subst, depth):
+    inner, out = goal.args
+    total = sum(1 for _ in engine._solve((inner,), subst, depth + 1))
+    new = unify(out, ast.Const(total), subst)
+    if new is not None:
+        yield new
+
+
+def _bi_sum(engine, goal, subst, depth):
+    expr, inner, out = goal.args
+    total: float | int = 0
+    for solution in engine._solve((inner,), subst, depth + 1):
+        total += arith_eval(expr, solution)
+    new = unify(out, ast.Const(total), subst)
+    if new is not None:
+        yield new
+
+
+# ---------------------------------------------------------------------------
+# output (captured, for examples and tests)
+# ---------------------------------------------------------------------------
+
+
+def _bi_write(engine, goal, subst, depth):
+    sink = getattr(engine, "output", None)
+    text = repr(resolve(goal.args[0], subst))
+    if sink is not None:
+        sink.append(text)
+    yield subst
+
+
+def _bi_nl(engine, goal, subst, depth):
+    sink = getattr(engine, "output", None)
+    if sink is not None:
+        sink.append("\n")
+    yield subst
+
+
+CORE_BUILTINS = {
+    "true/0": _bi_true,
+    "fail/0": _bi_fail,
+    "call/1": _bi_call,
+    "once/1": _bi_once,
+    "=/2": _bi_unify,
+    "\\=/2": _bi_not_unify,
+    "==/2": _bi_struct_eq,
+    "\\==/2": _bi_struct_neq,
+    "is/2": _bi_is,
+    "</2": _bi_arith_compare,
+    ">/2": _bi_arith_compare,
+    "=</2": _bi_arith_compare,
+    ">=/2": _bi_arith_compare,
+    "var/1": _bi_var,
+    "nonvar/1": _bi_nonvar,
+    "number/1": _bi_number,
+    "atom/1": _bi_atom,
+    "ground/1": _bi_ground,
+    "member/2": _bi_member,
+    "length/2": _bi_length,
+    "append/3": _bi_append,
+    "reverse/2": _bi_reverse,
+    "between/3": _bi_between,
+    "nth0/3": _bi_nth0,
+    "last/2": _bi_last,
+    "sort/2": _bi_sort,
+    "msort/2": _bi_msort,
+    "sum_list/2": _bi_sum_list,
+    "max_list/2": _bi_max_list,
+    "min_list/2": _bi_min_list,
+    "forall/2": _bi_forall,
+    "atom_length/2": _bi_atom_length,
+    "atom_concat/3": _bi_atom_concat,
+    "findall/3": _bi_findall,
+    "setof/3": _bi_setof,
+    "count/2": _bi_count,
+    "sum/3": _bi_sum,
+    "write/1": _bi_write,
+    "nl/0": _bi_nl,
+}

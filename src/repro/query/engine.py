@@ -1,0 +1,113 @@
+"""SLD resolution engine with negation as failure.
+
+The engine resolves a conjunction of goals against three goal sources,
+consulted in this order:
+
+1. **builtins** — comparison, arithmetic, list and aggregation
+   predicates (``repro.query.builtins``), plus the LabBase-backed base
+   predicates installed by ``repro.query.program`` (which have the same
+   calling convention);
+2. **rules** — the consulted program and dynamically asserted facts.
+
+Resolution is depth-first with chronological backtracking, implemented
+as generators so queries with many answers stream lazily.  A depth bound
+guards against runaway left recursion (the benchmark's view predicates
+are all terminating, so hitting the bound indicates a bad user program).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Protocol
+
+from repro.errors import EvaluationError
+from repro.query import ast
+from repro.query.unify import rename_rule, unify, walk
+
+#: A builtin/base predicate: (engine, goal, subst, depth) -> iterator of substs.
+Builtin = Callable[["Engine", ast.Struct, dict, int], Iterator[dict]]
+
+
+class GoalSource(Protocol):
+    """What the engine needs from a program."""
+
+    def builtin_for(self, indicator: str) -> Builtin | None: ...
+
+    def clauses_for(self, indicator: str) -> list[ast.Rule] | None: ...
+
+
+class Engine:
+    """Resolves goals against a :class:`GoalSource`."""
+
+    def __init__(self, source: GoalSource, max_depth: int = 4000) -> None:
+        self._source = source
+        self.max_depth = max_depth
+
+    # -- public ------------------------------------------------------------
+
+    def solve(self, goals: tuple, subst: dict | None = None) -> Iterator[dict]:
+        """All solutions of a goal conjunction, as substitutions."""
+        return self._solve(tuple(goals), subst or {}, depth=0)
+
+    def prove(self, goals: tuple, subst: dict | None = None) -> dict | None:
+        """The first solution, or None."""
+        for solution in self.solve(goals, subst):
+            return solution
+        return None
+
+    # -- resolution ------------------------------------------------------------
+
+    def _solve(self, goals: tuple, subst: dict, depth: int) -> Iterator[dict]:
+        if depth > self.max_depth:
+            raise EvaluationError(
+                f"resolution exceeded depth {self.max_depth} "
+                "(non-terminating recursion?)"
+            )
+        if not goals:
+            yield subst
+            return
+
+        goal, rest = goals[0], goals[1:]
+
+        # Negation as failure: \+ G succeeds iff G has no solution.
+        if isinstance(goal, ast.Neg):
+            if self._has_solution(goal.goal, subst, depth):
+                return
+            yield from self._solve(rest, subst, depth + 1)
+            return
+
+        goal = self._normalize_goal(goal, subst)
+        indicator = goal.indicator
+
+        builtin = self._source.builtin_for(indicator)
+        if builtin is not None:
+            for new_subst in builtin(self, goal, subst, depth):
+                yield from self._solve(rest, new_subst, depth + 1)
+            return
+
+        clauses = self._source.clauses_for(indicator)
+        if clauses is None:
+            raise EvaluationError(f"unknown predicate {indicator}")
+        for clause in clauses:
+            renamed = rename_rule(clause)
+            new_subst = unify(goal, renamed.head, subst)
+            if new_subst is None:
+                continue
+            yield from self._solve(renamed.body + rest, new_subst, depth + 1)
+
+    def _has_solution(self, goal, subst: dict, depth: int) -> bool:
+        for _ in self._solve((goal,), subst, depth + 1):
+            return True
+        return False
+
+    def _normalize_goal(self, goal, subst: dict) -> ast.Struct:
+        """Deref the goal; promote atoms to zero-arity predicates."""
+        goal = walk(goal, subst)
+        if isinstance(goal, ast.Var):
+            raise EvaluationError(f"goal is an unbound variable: {goal!r}")
+        if isinstance(goal, ast.Const):
+            if isinstance(goal.value, ast.Sym):
+                return ast.Struct(str(goal.value), ())
+            raise EvaluationError(f"goal is not callable: {goal!r}")
+        if isinstance(goal, ast.Struct):
+            return goal
+        raise EvaluationError(f"goal is not callable: {goal!r}")

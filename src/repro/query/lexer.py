@@ -1,0 +1,191 @@
+"""Tokenizer for the deductive query language.
+
+Syntax follows Prolog conventions with the paper's ``<-`` rule arrow
+(``:-`` is accepted as a synonym).  Identifiers may contain ``:`` after
+the first character so the paper's predicate names like
+``test:sequencing_ok`` lex as single atoms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LexError
+
+# Token types
+ATOM = "ATOM"        # lowercase identifier or quoted 'atom'
+VAR = "VAR"          # Uppercase/underscore identifier
+NUMBER = "NUMBER"
+STRING = "STRING"    # "double quoted"
+PUNCT = "PUNCT"      # ( ) [ ] , | . and operators
+END = "END"
+
+#: Multi-character operators, longest first so the scanner is greedy.
+_OPERATORS = (
+    "<-", ":-", "?-", "\\+", "\\=", "=<", ">=", "==", "\\==", "=..", "->", "=", "<", ">",
+    "+", "-", "*", "/", "(", ")", "[", "]", "{", "}", ",", "|", "!", ";",
+)
+_OPERATORS = tuple(sorted(_OPERATORS, key=len, reverse=True))
+
+
+@dataclass(frozen=True)
+class Token:
+    type: str
+    value: object
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"{self.type}({self.value!r})"
+
+
+def _is_ident_start(char: str) -> bool:
+    return char.isalpha() or char == "_"
+
+
+def _is_ident_char(char: str) -> bool:
+    return char.isalnum() or char in "_:"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Scan program text into tokens (END appended)."""
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    line_start = 0
+    length = len(text)
+
+    def column() -> int:
+        return pos - line_start + 1
+
+    while pos < length:
+        char = text[pos]
+
+        # whitespace / newlines
+        if char in " \t\r":
+            pos += 1
+            continue
+        if char == "\n":
+            pos += 1
+            line += 1
+            line_start = pos
+            continue
+
+        # % line comments
+        if char == "%":
+            while pos < length and text[pos] != "\n":
+                pos += 1
+            continue
+
+        # /* block comments */
+        if text.startswith("/*", pos):
+            end = text.find("*/", pos + 2)
+            if end < 0:
+                raise LexError("unterminated block comment", line, column())
+            segment = text[pos:end]
+            line += segment.count("\n")
+            if "\n" in segment:
+                line_start = pos + segment.rfind("\n") + 1
+            pos = end + 2
+            continue
+
+        # numbers (integers and floats; leading '-' handled as operator)
+        if char.isdigit():
+            start = pos
+            while pos < length and text[pos].isdigit():
+                pos += 1
+            is_float = False
+            if (
+                pos + 1 < length
+                and text[pos] == "."
+                and text[pos + 1].isdigit()
+            ):
+                is_float = True
+                pos += 1
+                while pos < length and text[pos].isdigit():
+                    pos += 1
+            raw = text[start:pos]
+            value = float(raw) if is_float else int(raw)
+            tokens.append(Token(NUMBER, value, line, start - line_start + 1))
+            continue
+
+        # quoted atoms
+        if char == "'":
+            start_col = column()
+            pos += 1
+            chars = []
+            while pos < length and text[pos] != "'":
+                if text[pos] == "\\" and pos + 1 < length:
+                    pos += 1
+                    chars.append(_unescape(text[pos]))
+                else:
+                    chars.append(text[pos])
+                pos += 1
+            if pos >= length:
+                raise LexError("unterminated quoted atom", line, start_col)
+            pos += 1
+            tokens.append(Token(ATOM, "".join(chars), line, start_col))
+            continue
+
+        # strings
+        if char == '"':
+            start_col = column()
+            pos += 1
+            chars = []
+            while pos < length and text[pos] != '"':
+                if text[pos] == "\\" and pos + 1 < length:
+                    pos += 1
+                    chars.append(_unescape(text[pos]))
+                else:
+                    chars.append(text[pos])
+                pos += 1
+            if pos >= length:
+                raise LexError("unterminated string", line, start_col)
+            pos += 1
+            tokens.append(Token(STRING, "".join(chars), line, start_col))
+            continue
+
+        # identifiers: atoms and variables
+        if _is_ident_start(char):
+            start = pos
+            start_col = column()
+            while pos < length and _is_ident_char(text[pos]):
+                pos += 1
+            # identifiers may not *end* with ':' (that colon belongs to
+            # the next token stream position only in module syntax we
+            # don't support; back off)
+            while text[pos - 1] == ":":
+                pos -= 1
+            name = text[start:pos]
+            if char.isupper() or char == "_":
+                tokens.append(Token(VAR, name, line, start_col))
+            else:
+                tokens.append(Token(ATOM, name, line, start_col))
+            continue
+
+        # end-of-clause '.' — only when not part of a number (handled
+        # above) and followed by whitespace/EOF/comment
+        if char == ".":
+            next_char = text[pos + 1] if pos + 1 < length else ""
+            if next_char == "" or next_char in " \t\r\n%":
+                tokens.append(Token(PUNCT, ".", line, column()))
+                pos += 1
+                continue
+            # otherwise fall through to operators (e.g. '.' in lists is
+            # not written explicitly in source)
+
+        # operators / punctuation
+        for op in _OPERATORS:
+            if text.startswith(op, pos):
+                tokens.append(Token(PUNCT, op, line, column()))
+                pos += len(op)
+                break
+        else:
+            raise LexError(f"unexpected character {char!r}", line, column())
+
+    tokens.append(Token(END, None, line, column()))
+    return tokens
+
+
+def _unescape(char: str) -> str:
+    return {"n": "\n", "t": "\t", "r": "\r"}.get(char, char)

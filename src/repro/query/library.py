@@ -1,0 +1,106 @@
+"""The standard view library: Section 7's views as shipped rules.
+
+The paper defines views over the event history "so that the view
+definition does not have to be changed each time the workflow changes".
+These rules are exactly that: they mention only the workflow-independent
+base predicates (``state/2``, ``value_of/3``, ``history_step/2``,
+``step_info/3``, ``involves/2``), so they work unchanged on any
+workflow LabBase hosts.
+
+Load with::
+
+    program = Program(db=db)
+    load_standard_library(program)
+    program.solutions("derived_from(Parent, Child).")
+"""
+
+from __future__ import annotations
+
+from repro.query.program import Program
+
+STANDARD_LIBRARY = """
+% ---------------------------------------------------------------------
+% lineage: Child was created by a step that also involved Parent.
+% (Creation steps like associate_tclone involve both the source material
+% and the material they create, so shared steps encode derivation.)
+% ---------------------------------------------------------------------
+derived_from(Parent, Child) <-
+    material(_, _, Child),
+    history_step(Child, Step),
+    involves(Step, Parent),
+    Parent \\= Child,
+    created_by(Child, Step).
+
+% A material's creating step is the oldest in its history: no other
+% step of the material has an earlier valid time.
+created_by(M, Step) <-
+    history_step(M, Step),
+    step_info(Step, _, T),
+    \\+ earlier_step(M, T).
+
+earlier_step(M, T) <-
+    history_step(M, Other),
+    step_info(Other, _, T2),
+    T2 < T.
+
+% transitive lineage
+ancestor_material(A, D) <- derived_from(A, D).
+ancestor_material(A, D) <- derived_from(A, X), ancestor_material(X, D).
+
+% ---------------------------------------------------------------------
+% history views
+% ---------------------------------------------------------------------
+
+% M was processed by a step of class C at some time
+processed_by(M, C) <-
+    history_step(M, S),
+    step_info(S, C, _).
+
+% M was processed by class C more than once (rework)
+reworked(M, C) <-
+    history_step(M, S1), step_info(S1, C, T1),
+    history_step(M, S2), step_info(S2, C, T2),
+    T1 < T2.
+
+% first and last event times of a material
+first_event(M, T) <-
+    history_step(M, S), step_info(S, _, T), \\+ earlier_step(M, T).
+last_event(M, T) <-
+    history_step(M, S), step_info(S, _, T), \\+ later_step(M, T).
+later_step(M, T) <-
+    history_step(M, Other), step_info(Other, _, T2), T2 > T.
+
+% cycle time as a derived value
+cycle_time(M, D) <- first_event(M, T0), last_event(M, T1), D is T1 - T0.
+
+% ---------------------------------------------------------------------
+% state & population views
+% ---------------------------------------------------------------------
+
+% population of a state (Q3 + counting).  S is grounded through
+% workflow_state/1 first: this implementation's count/2 (like findall)
+% does not group by free variables the way full Prolog setof does.
+state_population(S, N) <- workflow_state(S), count(state(_, S), N).
+
+% materials of class C currently in state S
+class_in_state(C, S, M) <- state(M, S), material(C, _, M).
+
+% an attribute is recorded for M (regardless of value)
+has_value(M, A) <- value_of(M, A, _).
+
+% materials whose attribute A satisfies a threshold
+value_at_least(M, A, Min) <- value_of(M, A, V), V >= Min.
+value_below(M, A, Max) <- value_of(M, A, V), V < Max.
+"""
+
+
+def load_standard_library(program: Program) -> None:
+    """Consult the standard views into a LabBase-backed program."""
+    program.consult(STANDARD_LIBRARY)
+
+
+def new_program_with_library(db, clock=None) -> Program:
+    """A Program bound to ``db`` with the standard views loaded."""
+    program = Program(db=db, clock=clock)
+    load_standard_library(program)
+    return program

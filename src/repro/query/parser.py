@@ -1,0 +1,264 @@
+"""Recursive-descent parser for the deductive query language.
+
+Grammar (Prolog-like, with the paper's ``<-`` arrow)::
+
+    program  ::= clause*
+    clause   ::= head (('<-' | ':-') body)? '.'
+               | '?-' body '.'
+    body     ::= goal (',' goal)*
+    goal     ::= '\\+' goal | expr
+    expr     ::= additive ((comparison-op) additive)?
+    additive ::= multiplicative (('+' | '-') multiplicative)*
+    multiplicative ::= unary (('*' | '/' | 'mod') unary)*
+    unary    ::= '-' unary | primary
+    primary  ::= NUMBER | STRING | VAR | list
+               | ATOM ('(' expr (',' expr)* ')')?
+               | '(' expr ')'
+
+Comparison operators (``=``, ``\\=``, ``<``, ``>``, ``=<``, ``>=``,
+``==``, ``\\==``, ``is``) and arithmetic build ordinary structs, which
+the engine's builtins interpret.  Variables with the same name within a
+clause are the same variable; ``_`` is anonymous (fresh per occurrence).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.query import ast
+from repro.query.lexer import ATOM, END, NUMBER, PUNCT, STRING, VAR, Token, tokenize
+
+_COMPARISON_OPS = {"=", "\\=", "<", ">", "=<", ">=", "==", "\\=="}
+_ADDITIVE_OPS = {"+", "-"}
+_MULTIPLICATIVE_OPS = {"*", "/"}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+        self._clause_vars: dict[str, ast.Var] = {}
+        self._anon_counter = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        self._pos += 1
+        return token
+
+    def _at_punct(self, *values: str) -> bool:
+        token = self._peek()
+        return token.type == PUNCT and token.value in values
+
+    def _at_atom(self, *names: str) -> bool:
+        token = self._peek()
+        return token.type == ATOM and token.value in names
+
+    def _expect_punct(self, value: str) -> Token:
+        token = self._peek()
+        if token.type != PUNCT or token.value != value:
+            raise ParseError(
+                f"expected {value!r}, found {token.value!r}", token.line, token.column
+            )
+        return self._advance()
+
+    # -- clauses ----------------------------------------------------------------
+
+    def parse_program(self) -> tuple[list[ast.Rule], list[tuple]]:
+        """All clauses; returns (rules, queries)."""
+        rules: list[ast.Rule] = []
+        queries: list[tuple] = []
+        while self._peek().type != END:
+            self._clause_vars = {}
+            if self._at_punct("?-"):
+                self._advance()
+                body = self._parse_body()
+                self._expect_punct(".")
+                queries.append(tuple(body))
+                continue
+            head = self._parse_goal()
+            if isinstance(head, ast.Const) and isinstance(head.value, ast.Sym):
+                head = ast.Struct(str(head.value), ())  # zero-arity predicate
+            if not isinstance(head, ast.Struct):
+                token = self._peek()
+                raise ParseError(
+                    f"clause head must be a predicate, got {head!r}",
+                    token.line,
+                    token.column,
+                )
+            body: list = []
+            if self._at_punct("<-", ":-"):
+                self._advance()
+                body = self._parse_body()
+            self._expect_punct(".")
+            rules.append(ast.Rule(head=head, body=tuple(body)))
+        return rules, queries
+
+    def parse_query(self) -> tuple:
+        """A single goal conjunction (optionally ``?-`` prefixed)."""
+        self._clause_vars = {}
+        if self._at_punct("?-"):
+            self._advance()
+        body = self._parse_body()
+        if self._at_punct("."):
+            self._advance()
+        token = self._peek()
+        if token.type != END:
+            raise ParseError(
+                f"unexpected trailing input {token.value!r}", token.line, token.column
+            )
+        return tuple(body)
+
+    # -- bodies and goals -----------------------------------------------------------
+
+    def _parse_body(self) -> list:
+        goals = [self._parse_goal()]
+        while self._at_punct(","):
+            self._advance()
+            goals.append(self._parse_goal())
+        return goals
+
+    def _parse_goal(self):
+        if self._at_punct("\\+"):
+            self._advance()
+            return ast.Neg(self._parse_goal())
+        return self._parse_expr()
+
+    # -- expressions --------------------------------------------------------------
+
+    def _parse_expr(self):
+        left = self._parse_additive()
+        token = self._peek()
+        if token.type == PUNCT and token.value in _COMPARISON_OPS:
+            self._advance()
+            right = self._parse_additive()
+            return ast.Struct(str(token.value), (left, right))
+        if self._at_atom("is"):
+            self._advance()
+            right = self._parse_additive()
+            return ast.Struct("is", (left, right))
+        return left
+
+    def _parse_additive(self):
+        left = self._parse_multiplicative()
+        while self._at_punct(*_ADDITIVE_OPS):
+            op = str(self._advance().value)
+            right = self._parse_multiplicative()
+            left = ast.Struct(op, (left, right))
+        return left
+
+    def _parse_multiplicative(self):
+        left = self._parse_unary()
+        while self._at_punct(*_MULTIPLICATIVE_OPS) or self._at_atom("mod"):
+            token = self._advance()
+            right = self._parse_unary()
+            left = ast.Struct(str(token.value), (left, right))
+        return left
+
+    def _parse_unary(self):
+        if self._at_punct("-"):
+            self._advance()
+            operand = self._parse_unary()
+            if isinstance(operand, ast.Const) and isinstance(
+                operand.value, (int, float)
+            ):
+                return ast.Const(-operand.value)
+            return ast.Struct("-", (ast.Const(0), operand))
+        return self._parse_primary()
+
+    # -- primaries -----------------------------------------------------------------
+
+    def _parse_primary(self):
+        token = self._peek()
+
+        if token.type == NUMBER:
+            self._advance()
+            return ast.Const(token.value)
+
+        if token.type == STRING:
+            self._advance()
+            return ast.Const(str(token.value))
+
+        if token.type == VAR:
+            self._advance()
+            return self._variable(str(token.value))
+
+        if token.type == ATOM:
+            self._advance()
+            name = str(token.value)
+            if self._at_punct("("):
+                self._advance()
+                args = [self._parse_expr()]
+                while self._at_punct(","):
+                    self._advance()
+                    args.append(self._parse_expr())
+                self._expect_punct(")")
+                return ast.Struct(name, tuple(args))
+            return ast.Const(ast.sym(name))
+
+        if self._at_punct("["):
+            return self._parse_list()
+
+        if self._at_punct("("):
+            self._advance()
+            inner = self._parse_expr()
+            self._expect_punct(")")
+            return inner
+
+        raise ParseError(
+            f"unexpected token {token.value!r}", token.line, token.column
+        )
+
+    def _parse_list(self):
+        self._expect_punct("[")
+        if self._at_punct("]"):
+            self._advance()
+            return ast.EMPTY_LIST
+        items = [self._parse_expr()]
+        while self._at_punct(","):
+            self._advance()
+            items.append(self._parse_expr())
+        tail = ast.EMPTY_LIST
+        if self._at_punct("|"):
+            self._advance()
+            tail = self._parse_expr()
+        self._expect_punct("]")
+        return ast.list_term(items, tail)
+
+    def _variable(self, name: str) -> ast.Var:
+        if name == "_":
+            self._anon_counter += 1
+            return ast.Var(f"_G{self._anon_counter}")
+        var = self._clause_vars.get(name)
+        if var is None:
+            var = ast.Var(name)
+            self._clause_vars[name] = var
+        return var
+
+
+def parse_program(text: str) -> tuple[list[ast.Rule], list[tuple]]:
+    """Parse program text into (rules, embedded ``?-`` queries)."""
+    return _Parser(tokenize(text)).parse_program()
+
+
+def parse_query(text: str) -> tuple:
+    """Parse one query (a conjunction of goals)."""
+    return _Parser(tokenize(text)).parse_query()
+
+
+def parse_term(text: str):
+    """Parse a single term (used by assert/retract helpers and tests)."""
+    parser = _Parser(tokenize(text))
+    term = parser._parse_expr()
+    token = parser._peek()
+    if parser._at_punct("."):
+        parser._advance()
+        token = parser._peek()
+    if token.type != END:
+        raise ParseError(
+            f"unexpected trailing input {token.value!r}", token.line, token.column
+        )
+    return term

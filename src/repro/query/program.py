@@ -1,0 +1,519 @@
+"""Programs: rules + dynamic facts + LabBase base predicates.
+
+A :class:`Program` is what applications query.  It combines:
+
+* consulted **rules** (the deductive view definitions);
+* **dynamic facts** maintained by ``assert``/``retract``;
+* the **LabBase base predicates** — the view of the workflow database
+  the paper's Section 7 describes, defined *independently of the
+  workflow* so workflow changes never invalidate queries:
+
+  ===============================  =============================================
+  predicate                        meaning
+  ===============================  =============================================
+  ``material(Class, Key, M)``      M is the material Key of class Class
+  ``material_class(C)``            C is a registered material class
+  ``step_class(C)``                C is a registered step class
+  ``state(M, S)``                  material M is currently in workflow state S
+  ``value_of(M, A, V)``            V is M's most-recent value for attribute A
+  ``history_step(M, Step)``        Step is in M's event history
+  ``involves(Step, M)``            step Step involved material M
+  ``step_info(Step, C, T)``        Step is a C step with valid time T
+  ``step_result(Step, A, V)``      Step recorded value V for attribute A
+  ``class_count(C, N)``            N materials in class C (with subclasses)
+  ``step_count(C, N)``             N steps recorded under step class C
+  ``create_material(C, Key, M)``   update: create a material (U2)
+  ``record_step(C, Ms, Results)``  update: record a step (U1); Results is a
+                                   list of ``attr = value`` pairs
+  ``set_state(M, S)``              update: workflow state transition (U3)
+  ===============================  =============================================
+
+``assert(state(M, S))`` and ``retract(state(M, S))`` route to LabBase's
+state store, so the paper's Section 7 transition rules run verbatim::
+
+    promote(M) <- state(M, waiting_for_sequencing),
+                  test:sequencing_ok(M),
+                  retract(state(M, waiting_for_sequencing)),
+                  assert(state(M, waiting_for_incorporation)).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import (
+    EvaluationError,
+    InstantiationError,
+    UnknownAttributeError,
+    UnknownClassError,
+    UnknownMaterialError,
+)
+from repro.labbase.database import LabBase
+from repro.labbase.temporal import LabClock
+from repro.query import ast
+from repro.query.builtins import CORE_BUILTINS
+from repro.query.engine import Builtin, Engine
+from repro.query.parser import parse_program, parse_query
+from repro.query.unify import resolve, unify, walk
+
+
+class RuleBase:
+    """Rules and dynamic facts indexed by predicate indicator."""
+
+    def __init__(self) -> None:
+        self._clauses: dict[str, list[ast.Rule]] = {}
+
+    def add_rule(self, rule: ast.Rule) -> None:
+        self._clauses.setdefault(rule.head.indicator, []).append(rule)
+
+    def declare(self, indicator: str) -> None:
+        """Make a predicate known (empty) so calls fail instead of error."""
+        self._clauses.setdefault(indicator, [])
+
+    def clauses_for(self, indicator: str) -> list[ast.Rule] | None:
+        return self._clauses.get(indicator)
+
+    def retract_first(self, fact: ast.Struct, subst: dict) -> dict | None:
+        """Remove the first clause whose head unifies; returns new subst."""
+        clauses = self._clauses.get(fact.indicator, [])
+        for index, clause in enumerate(clauses):
+            if clause.body:
+                continue
+            new = unify(fact, clause.head, subst)
+            if new is not None:
+                del clauses[index]
+                return new
+        return None
+
+    def indicators(self) -> list[str]:
+        return sorted(self._clauses)
+
+
+class Program:
+    """A queryable deductive program, optionally bound to a LabBase."""
+
+    def __init__(
+        self,
+        db: LabBase | None = None,
+        clock: LabClock | None = None,
+        text: str | None = None,
+        max_depth: int = 4000,
+    ) -> None:
+        self.rules = RuleBase()
+        self.db = db
+        self.clock = clock or LabClock()
+        self._builtins: dict[str, Builtin] = dict(CORE_BUILTINS)
+        self._builtins["assert/1"] = self._bi_assert
+        self._builtins["retract/1"] = self._bi_retract
+        if db is not None:
+            self._install_labbase_predicates()
+        self.engine = Engine(self, max_depth=max_depth)
+        self.engine.output = []  # write/1 sink
+        if text:
+            self.consult(text)
+
+    # -- GoalSource protocol ------------------------------------------------------
+
+    def builtin_for(self, indicator: str) -> Builtin | None:
+        return self._builtins.get(indicator)
+
+    def clauses_for(self, indicator: str) -> list[ast.Rule] | None:
+        return self.rules.clauses_for(indicator)
+
+    # -- loading ---------------------------------------------------------------------
+
+    def consult(self, text: str) -> list[tuple]:
+        """Load rules from program text; returns embedded ``?-`` queries."""
+        rules, queries = parse_program(text)
+        for rule in rules:
+            if rule.head.indicator in self._builtins:
+                raise EvaluationError(
+                    f"cannot redefine builtin {rule.head.indicator}"
+                )
+            self.rules.add_rule(rule)
+        return queries
+
+    # -- querying ------------------------------------------------------------------------
+
+    def solve(self, query: str | tuple) -> Iterator[dict[str, object]]:
+        """Solutions as {variable name: Python value} dicts."""
+        goals = parse_query(query) if isinstance(query, str) else tuple(query)
+        variables = _query_variables(goals)
+        for subst in self.engine.solve(goals):
+            yield {
+                var.name: _lower(resolve(var, subst)) for var in variables
+            }
+
+    def solutions(self, query: str | tuple) -> list[dict[str, object]]:
+        return list(self.solve(query))
+
+    def ask(self, query: str | tuple) -> bool:
+        """Whether the query has at least one solution."""
+        for _ in self.solve(query):
+            return True
+        return False
+
+    def first(self, query: str | tuple) -> dict[str, object] | None:
+        for solution in self.solve(query):
+            return solution
+        return None
+
+    def output_text(self) -> str:
+        """Text produced by write/1 and nl/0 so far."""
+        return "".join(self.engine.output)
+
+    # -- assert / retract --------------------------------------------------------------
+
+    def _bi_assert(self, engine, goal, subst, depth):
+        fact = resolve(goal.args[0], subst)
+        fact = _as_struct(fact, "assert/1")
+        if self.db is not None and fact.indicator == "state/2":
+            material_oid = _need_int(fact.args[0], "assert(state/2)")
+            state = _need_name(fact.args[1], "assert(state/2)")
+            self.db.set_state(material_oid, state, self.clock.tick())
+            yield subst
+            return
+        if fact.indicator in self._builtins:
+            raise EvaluationError(f"cannot assert over builtin {fact.indicator}")
+        self.rules.add_rule(ast.Rule(head=fact, body=()))
+        yield subst
+
+    def _bi_retract(self, engine, goal, subst, depth):
+        fact = walk(goal.args[0], subst)
+        fact = _as_struct(fact, "retract/1")
+        if self.db is not None and fact.indicator == "state/2":
+            material_oid = _need_int(resolve(fact.args[0], subst), "retract(state/2)")
+            current = self.db.state_of(material_oid)
+            if current is None:
+                return
+            new = unify(fact.args[1], ast.Const(ast.sym(current)), subst)
+            if new is None:
+                return
+            self.db.clear_state(material_oid)
+            yield new
+            return
+        new = self.rules.retract_first(fact, subst)
+        if new is not None:
+            yield new
+
+    # -- LabBase base predicates -----------------------------------------------------------
+
+    def _install_labbase_predicates(self) -> None:
+        self._builtins.update(
+            {
+                "material/3": self._bp_material,
+                "material_class/1": self._bp_material_class,
+                "step_class/1": self._bp_step_class,
+                "state/2": self._bp_state,
+                "workflow_state/1": self._bp_workflow_state,
+                "value_of/3": self._bp_value_of,
+                "value_as_of/4": self._bp_value_as_of,
+                "history_step/2": self._bp_history_step,
+                "involves/2": self._bp_involves,
+                "step_info/3": self._bp_step_info,
+                "step_result/3": self._bp_step_result,
+                "class_count/2": self._bp_class_count,
+                "step_count/2": self._bp_step_count,
+                "create_material/3": self._bp_create_material,
+                "record_step/3": self._bp_record_step,
+                "set_state/2": self._bp_set_state,
+            }
+        )
+
+    # (read predicates)
+
+    def _bp_material(self, engine, goal, subst, depth):
+        class_term = walk(goal.args[0], subst)
+        key_term = walk(goal.args[1], subst)
+        oid_term = walk(goal.args[2], subst)
+        db = self.db
+        if isinstance(oid_term, ast.Const):
+            oid = _need_int(oid_term, "material/3")
+            try:
+                record = db.material(oid)
+            except Exception:
+                return
+            yield from _unify_all(
+                subst,
+                (goal.args[0], ast.Const(ast.sym(record["class_name"]))),
+                (goal.args[1], ast.Const(ast.sym(record["key"]))),
+            )
+            return
+        if not isinstance(class_term, ast.Var) and not isinstance(key_term, ast.Var):
+            class_name = _need_name(class_term, "material/3")
+            key = _need_name(key_term, "material/3")
+            try:
+                oid = db.lookup(class_name, key)
+            except (UnknownMaterialError, UnknownClassError):
+                return
+            new = unify(goal.args[2], ast.Const(oid), subst)
+            if new is not None:
+                yield new
+            return
+        # enumeration (storage scan)
+        for oid, record in db.iter_materials():
+            yield from _unify_all(
+                subst,
+                (goal.args[0], ast.Const(ast.sym(record["class_name"]))),
+                (goal.args[1], ast.Const(ast.sym(record["key"]))),
+                (goal.args[2], ast.Const(oid)),
+            )
+
+    def _bp_material_class(self, engine, goal, subst, depth):
+        for name in self.db.catalog.material_classes:
+            new = unify(goal.args[0], ast.Const(ast.sym(name)), subst)
+            if new is not None:
+                yield new
+
+    def _bp_step_class(self, engine, goal, subst, depth):
+        for name in self.db.catalog.step_classes:
+            new = unify(goal.args[0], ast.Const(ast.sym(name)), subst)
+            if new is not None:
+                yield new
+
+    def _bp_state(self, engine, goal, subst, depth):
+        material_term = walk(goal.args[0], subst)
+        state_term = walk(goal.args[1], subst)
+        db = self.db
+        if isinstance(material_term, ast.Const):
+            oid = _need_int(material_term, "state/2")
+            state = db.state_of(oid)
+            if state is None:
+                return
+            new = unify(goal.args[1], ast.Const(ast.sym(state)), subst)
+            if new is not None:
+                yield new
+            return
+        if isinstance(state_term, ast.Const):
+            state = _need_name(state_term, "state/2")
+            for oid in db.in_state(state):
+                new = unify(goal.args[0], ast.Const(oid), subst)
+                if new is not None:
+                    yield new
+            return
+        for state in db.sets.state_census():
+            for oid in db.in_state(state):
+                yield from _unify_all(
+                    subst,
+                    (goal.args[0], ast.Const(oid)),
+                    (goal.args[1], ast.Const(ast.sym(state))),
+                )
+
+    def _bp_workflow_state(self, engine, goal, subst, depth):
+        """workflow_state(S): every state that has ever had a set."""
+        for state in sorted(self.db.sets.state_census()):
+            new = unify(goal.args[0], ast.Const(ast.sym(state)), subst)
+            if new is not None:
+                yield new
+
+    def _bp_value_of(self, engine, goal, subst, depth):
+        material_term = walk(goal.args[0], subst)
+        attr_term = walk(goal.args[1], subst)
+        oid = _need_int(material_term, "value_of/3")
+        db = self.db
+        if not isinstance(attr_term, ast.Var):
+            attribute = _need_name(attr_term, "value_of/3")
+            try:
+                value = db.most_recent(oid, attribute)
+            except UnknownAttributeError:
+                return
+            new = unify(goal.args[2], ast.python_to_term(value), subst)
+            if new is not None:
+                yield new
+            return
+        for attribute, value in sorted(db.current_attributes(oid).items()):
+            yield from _unify_all(
+                subst,
+                (goal.args[1], ast.Const(ast.sym(attribute))),
+                (goal.args[2], ast.python_to_term(value)),
+            )
+
+    def _bp_value_as_of(self, engine, goal, subst, depth):
+        """value_as_of(M, Attr, Time, V): the event-calculus reading."""
+        oid = _need_int(walk(goal.args[0], subst), "value_as_of/4")
+        attribute = _need_name(walk(goal.args[1], subst), "value_as_of/4")
+        time_term = walk(goal.args[2], subst)
+        valid_time = _need_int(time_term, "value_as_of/4")
+        try:
+            value = self.db.value_as_of(oid, attribute, valid_time)
+        except UnknownAttributeError:
+            return
+        new = unify(goal.args[3], ast.python_to_term(value), subst)
+        if new is not None:
+            yield new
+
+    def _bp_history_step(self, engine, goal, subst, depth):
+        oid = _need_int(walk(goal.args[0], subst), "history_step/2")
+        material = self.db.material(oid)
+        for step_oid in self.db.history.step_oids(material):
+            new = unify(goal.args[1], ast.Const(step_oid), subst)
+            if new is not None:
+                yield new
+
+    def _bp_involves(self, engine, goal, subst, depth):
+        step_oid = _need_int(walk(goal.args[0], subst), "involves/2")
+        step = self.db.step(step_oid)
+        for material_oid in step["involves"]:
+            new = unify(goal.args[1], ast.Const(material_oid), subst)
+            if new is not None:
+                yield new
+
+    def _bp_step_info(self, engine, goal, subst, depth):
+        step_oid = _need_int(walk(goal.args[0], subst), "step_info/3")
+        step = self.db.step(step_oid)
+        version = self.db.catalog.step_version(step["class_version"])
+        yield from _unify_all(
+            subst,
+            (goal.args[1], ast.Const(ast.sym(version.name))),
+            (goal.args[2], ast.Const(step["valid_time"])),
+        )
+
+    def _bp_step_result(self, engine, goal, subst, depth):
+        step_oid = _need_int(walk(goal.args[0], subst), "step_result/3")
+        step = self.db.step(step_oid)
+        for attribute, value in step["results"]:
+            yield from _unify_all(
+                subst,
+                (goal.args[1], ast.Const(ast.sym(attribute))),
+                (goal.args[2], ast.python_to_term(value)),
+            )
+
+    def _bp_class_count(self, engine, goal, subst, depth):
+        class_term = walk(goal.args[0], subst)
+        db = self.db
+        names = (
+            [_need_name(class_term, "class_count/2")]
+            if not isinstance(class_term, ast.Var)
+            else list(db.catalog.material_classes)
+        )
+        for name in names:
+            try:
+                count = db.count_materials(name)
+            except UnknownClassError:
+                continue
+            yield from _unify_all(
+                subst,
+                (goal.args[0], ast.Const(ast.sym(name))),
+                (goal.args[1], ast.Const(count)),
+            )
+
+    def _bp_step_count(self, engine, goal, subst, depth):
+        class_term = walk(goal.args[0], subst)
+        db = self.db
+        names = (
+            [_need_name(class_term, "step_count/2")]
+            if not isinstance(class_term, ast.Var)
+            else list(db.catalog.step_classes)
+        )
+        for name in names:
+            try:
+                count = db.count_steps(name)
+            except UnknownClassError:
+                continue
+            yield from _unify_all(
+                subst,
+                (goal.args[0], ast.Const(ast.sym(name))),
+                (goal.args[1], ast.Const(count)),
+            )
+
+    # (update predicates)
+
+    def _bp_create_material(self, engine, goal, subst, depth):
+        class_name = _need_name(walk(goal.args[0], subst), "create_material/3")
+        key = _need_name(walk(goal.args[1], subst), "create_material/3")
+        oid = self.db.create_material(class_name, key, self.clock.tick())
+        new = unify(goal.args[2], ast.Const(oid), subst)
+        if new is not None:
+            yield new
+
+    def _bp_record_step(self, engine, goal, subst, depth):
+        class_name = _need_name(walk(goal.args[0], subst), "record_step/3")
+        involves_term = resolve(goal.args[1], subst)
+        results_term = resolve(goal.args[2], subst)
+        try:
+            involves = [_need_int(item, "record_step/3") for item in ast.iter_list(involves_term)]
+            pairs = list(ast.iter_list(results_term))
+        except ValueError:
+            raise InstantiationError("record_step/3")
+        results: dict[str, object] = {}
+        for pair in pairs:
+            if not (isinstance(pair, ast.Struct) and pair.functor == "=" and pair.arity == 2):
+                raise EvaluationError(
+                    f"record_step/3: results must be attr = value pairs, got {pair!r}"
+                )
+            attribute = _need_name(pair.args[0], "record_step/3")
+            results[attribute] = ast.term_to_python(pair.args[1])
+        self.db.record_step(class_name, self.clock.tick(), involves, results)
+        yield subst
+
+    def _bp_set_state(self, engine, goal, subst, depth):
+        oid = _need_int(walk(goal.args[0], subst), "set_state/2")
+        state = _need_name(walk(goal.args[1], subst), "set_state/2")
+        self.db.set_state(oid, state, self.clock.tick())
+        yield subst
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _unify_all(subst: dict, *pairs) -> Iterator[dict]:
+    """Unify several (term, value) pairs; yields the combined subst."""
+    current: dict | None = subst
+    for term, value in pairs:
+        current = unify(term, value, current)
+        if current is None:
+            return
+    yield current
+
+
+def _as_struct(term, context: str) -> ast.Struct:
+    if isinstance(term, ast.Const) and isinstance(term.value, ast.Sym):
+        return ast.Struct(str(term.value), ())
+    if isinstance(term, ast.Struct):
+        return term
+    raise EvaluationError(f"{context}: not a fact: {term!r}")
+
+
+def _need_int(term, context: str) -> int:
+    if isinstance(term, ast.Const) and isinstance(term.value, int) \
+            and not isinstance(term.value, bool):
+        return term.value
+    if isinstance(term, ast.Var):
+        raise InstantiationError(context)
+    raise EvaluationError(f"{context}: expected an oid, got {term!r}")
+
+
+def _need_name(term, context: str) -> str:
+    if isinstance(term, ast.Const) and isinstance(term.value, (ast.Sym, str)):
+        return str(term.value)
+    if isinstance(term, ast.Var):
+        raise InstantiationError(context)
+    raise EvaluationError(f"{context}: expected a name, got {term!r}")
+
+
+def _lower(term) -> object:
+    """Lower a resolved term to Python for query results."""
+    try:
+        return ast.term_to_python(term)
+    except ValueError:
+        return repr(term)
+
+
+def _query_variables(goals: tuple) -> list[ast.Var]:
+    seen: dict[ast.Var, None] = {}
+
+    def collect(term) -> None:
+        if isinstance(term, ast.Var):
+            if not term.name.startswith("_"):
+                seen.setdefault(term)
+        elif isinstance(term, ast.Struct):
+            for arg in term.args:
+                collect(arg)
+        elif isinstance(term, ast.Neg):
+            collect(term.goal)
+
+    for goal in goals:
+        collect(goal)
+    return list(seen)

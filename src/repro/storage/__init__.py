@@ -1,0 +1,57 @@
+"""Simulated object storage managers (the benchmark's substrates).
+
+The five *server versions* of the paper's Section 10 map to:
+
+================  ============================================
+paper version     class
+================  ============================================
+OStore            :class:`~repro.storage.objectstore.ObjectStoreSM`
+Texas             :class:`~repro.storage.texas.TexasSM`
+Texas+TC          :class:`~repro.storage.clustered.TexasTCSM`
+OStore-mm         :class:`~repro.storage.memstore.OStoreMM`
+Texas-mm          :class:`~repro.storage.memstore.TexasMM`
+================  ============================================
+
+All implement the :class:`~repro.storage.base.StorageManager` API, so
+LabBase (and any application) runs unchanged over each.
+"""
+
+from repro.storage.base import PagedStorageManager, StorageManager
+from repro.storage.buffer import DEFAULT_POOL_PAGES, BufferPool
+from repro.storage.clustered import TexasTCSM
+from repro.storage.locks import LockManager, LockMode
+from repro.storage.memstore import MainMemorySM, OStoreMM, TexasMM
+from repro.storage.objectstore import ObjectStoreSM
+from repro.storage.integrity import IntegrityReport, verify
+from repro.storage.page import PAGE_SIZE, Page, exact_charge, power_of_two_charge
+from repro.storage.report import SegmentStats, segment_report, segment_stats
+from repro.storage.segment import DEFAULT_SEGMENT, Segment
+from repro.storage.stats import StorageStats
+from repro.storage.texas import TexasSM
+
+__all__ = [
+    "StorageManager",
+    "PagedStorageManager",
+    "ObjectStoreSM",
+    "TexasSM",
+    "TexasTCSM",
+    "MainMemorySM",
+    "OStoreMM",
+    "TexasMM",
+    "BufferPool",
+    "DEFAULT_POOL_PAGES",
+    "LockManager",
+    "LockMode",
+    "Page",
+    "PAGE_SIZE",
+    "Segment",
+    "DEFAULT_SEGMENT",
+    "StorageStats",
+    "verify",
+    "IntegrityReport",
+    "segment_stats",
+    "segment_report",
+    "SegmentStats",
+    "exact_charge",
+    "power_of_two_charge",
+]

@@ -1,0 +1,607 @@
+"""The common storage-manager machinery.
+
+:class:`StorageManager` is the abstract API every server version of the
+benchmark runs against — LabBase (Architecture C) is written once against
+this interface, exactly as the paper runs "virtually the same LabBase
+implementation" over each storage manager.
+
+:class:`PagedStorageManager` implements the API over pages, a buffer
+pool, and the simulated disk.  Concrete managers differ only in the
+*policies* the paper attributes the measured differences to:
+
+* ``charge_policy`` — how record bytes map to allocated bytes
+  (dense for ObjectStore, power-of-two cells for Texas);
+* segment support — whether ``segment=`` placement hints are honoured
+  (ObjectStore) or everything lands in one heap in allocation order
+  (Texas);
+* the fault hook — Texas charges pointer-swizzling work per fault;
+* concurrency — ObjectStore admits multiple clients through a lock
+  manager, Texas refuses a second client.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator
+
+from repro.errors import (
+    PageOverflowError,
+    StorageClosedError,
+    StorageError,
+    TransactionError,
+    UnknownOidError,
+    UnknownSegmentError,
+)
+from repro.storage.buffer import DEFAULT_POOL_PAGES, BufferPool
+from repro.storage.disk import PageFile
+from repro.storage.page import (
+    MAX_RECORD_BYTES,
+    Page,
+    ChargePolicy,
+    exact_charge,
+)
+from repro.storage.segment import DEFAULT_SEGMENT, Segment
+from repro.storage import serializer
+from repro.storage.stats import StorageStats
+from repro.util.ids import OidAllocator
+
+#: Payload bytes per large-object chunk (kept under MAX_RECORD_BYTES with
+#: room for the pickle framing of a bytes object).
+CHUNK_PAYLOAD_BYTES = 3800
+
+#: Journal marker: the oid had no directory entry before the transaction.
+_ABSENT = object()
+
+
+class StorageManager(abc.ABC):
+    """Abstract persistent object store.
+
+    Objects are plain data (see ``repro.storage.serializer``) addressed by
+    integer oids.  Named *roots* bootstrap access to everything else.
+    """
+
+    name: str = "abstract"
+    supports_segments: bool = False
+    supports_concurrency: bool = False
+    persistent: bool = True
+
+    stats: StorageStats
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Flush and release resources; further calls raise."""
+
+    # -- segments --------------------------------------------------------------
+
+    @abc.abstractmethod
+    def create_segment(self, name: str, description: str = "") -> str:
+        """Create (or return) a named clustering unit.
+
+        Managers without segment support accept the call but place all
+        data in the single default segment — matching how code written
+        for ObjectStore runs unchanged, just unclustered, on Texas.
+        """
+
+    @abc.abstractmethod
+    def segment_names(self) -> list[str]:
+        """Names of existing segments."""
+
+    # -- objects --------------------------------------------------------------
+
+    @abc.abstractmethod
+    def allocate_write(self, obj: object, segment: str | None = None) -> int:
+        """Store a new object, returning its oid."""
+
+    @abc.abstractmethod
+    def write(self, oid: int, obj: object) -> None:
+        """Overwrite an existing object in place."""
+
+    @abc.abstractmethod
+    def read(self, oid: int) -> object:
+        """Fetch an object by oid."""
+
+    @abc.abstractmethod
+    def exists(self, oid: int) -> bool:
+        """Whether the oid names a stored object."""
+
+    @abc.abstractmethod
+    def delete(self, oid: int) -> None:
+        """Remove an object."""
+
+    @abc.abstractmethod
+    def oids(self) -> Iterator[int]:
+        """Iterate every stored oid (testing / integrity checks)."""
+
+    # -- roots ---------------------------------------------------------------
+
+    @abc.abstractmethod
+    def set_root(self, name: str, oid: int) -> None:
+        """Bind a well-known name to an oid."""
+
+    @abc.abstractmethod
+    def get_root(self, name: str) -> int | None:
+        """Look up a root binding, or None."""
+
+    # -- transactions -----------------------------------------------------------
+
+    @abc.abstractmethod
+    def begin(self) -> None:
+        """Start a transaction (no nesting)."""
+
+    @abc.abstractmethod
+    def commit(self) -> None:
+        """Make all writes durable; also usable outside a transaction
+        as a checkpoint."""
+
+    @abc.abstractmethod
+    def abort(self) -> None:
+        """Undo all writes since :meth:`begin`."""
+
+    # -- accounting ----------------------------------------------------------
+
+    @abc.abstractmethod
+    def size_bytes(self) -> int:
+        """Total database size on disk (the paper's size column)."""
+
+    # -- convenience ---------------------------------------------------------
+
+    def object_count(self) -> int:
+        return sum(1 for _ in self.oids())
+
+
+class PagedStorageManager(StorageManager):
+    """Shared implementation for the page-based (persistent) managers."""
+
+    def __init__(
+        self,
+        path: str | None = None,
+        buffer_pages: int = DEFAULT_POOL_PAGES,
+        charge_policy: ChargePolicy = exact_charge,
+        checkpoint_every: int = 0,
+    ) -> None:
+        """``checkpoint_every``: persist metadata every N commits
+        (0 = only on close/explicit checkpoint).  Data pages are always
+        flushed at commit; the metadata checkpoint bounds how much a
+        crash (close() never called) can lose — see ``recover_info``.
+        """
+        self.stats = StorageStats()
+        self.checkpoint_every = checkpoint_every
+        self._commits_since_checkpoint = 0
+        self._charge = charge_policy
+        self._chunk_payload_bytes = self._compute_chunk_payload(charge_policy)
+        self._disk = PageFile(path)
+        self._pool = BufferPool(
+            capacity_pages=buffer_pages,
+            load_page=self._load_page,
+            flush_page=self._flush_page,
+            stats=self.stats,
+            fault_hook=self._on_fault,
+        )
+        self._closed = False
+        self._in_txn = False
+        # Undo journal for abort: old directory entries (or _ABSENT for
+        # oids created in the txn) plus small-state copies.  A journal
+        # instead of a full metadata snapshot keeps begin() O(changes),
+        # not O(database) — essential for the per-transaction stream.
+        self._undo_dir: dict[int, object] | None = None
+        self._undo_small: dict | None = None
+
+        meta = self._disk.read_meta()
+        if meta is None:
+            self._oid_alloc = OidAllocator(start=1)
+            self._page_alloc = OidAllocator(start=0)
+            # directory: oid -> (page_id, slot) for small records,
+            #            ("L", [(page_id, slot), ...]) for chunked ones.
+            self._directory: dict[int, object] = {}
+            self._roots: dict[str, int] = {}
+            self._segments: dict[str, Segment] = {}
+            self._segment_by_id: dict[int, Segment] = {}
+            self._make_segment(DEFAULT_SEGMENT, "default placement")
+        else:
+            self._restore_meta(meta)
+
+    # -- metadata persistence ---------------------------------------------------
+
+    def _meta(self) -> dict:
+        return {
+            "manager": self.name,
+            "oid_high": self._oid_alloc.high_water,
+            "page_high": self._page_alloc.high_water,
+            "directory": dict(self._directory),
+            "roots": dict(self._roots),
+            "segments": [seg.to_meta() for seg in self._segments.values()],
+        }
+
+    def _restore_meta(self, meta: dict) -> None:
+        self._oid_alloc = OidAllocator(start=meta["oid_high"])
+        self._page_alloc = OidAllocator(start=meta["page_high"])
+        self._directory = dict(meta["directory"])
+        self._roots = dict(meta["roots"])
+        self._segments = {}
+        self._segment_by_id = {}
+        for seg_meta in meta["segments"]:
+            segment = Segment.from_meta(seg_meta)
+            self._segments[segment.name] = segment
+            self._segment_by_id[segment.segment_id] = segment
+
+    # -- page plumbing -----------------------------------------------------------
+
+    def _load_page(self, page_id: int) -> Page:
+        image = self._disk.read_page(page_id)
+        return Page.from_bytes(page_id, image)
+
+    def _flush_page(self, page: Page) -> None:
+        self._disk.write_page(page.page_id, page.to_bytes())
+
+    def _on_fault(self, page: Page) -> None:
+        """Policy hook: called once per buffer-pool miss."""
+
+    def _new_page(self, segment: Segment) -> Page:
+        page = Page(self._page_alloc.allocate(), segment.segment_id)
+        segment.add_page(page.page_id)
+        self._pool.admit_new(page)
+        return page
+
+    def _make_segment(self, name: str, description: str) -> Segment:
+        segment = Segment(
+            segment_id=len(self._segment_by_id), name=name, description=description
+        )
+        self._segments[name] = segment
+        self._segment_by_id[segment.segment_id] = segment
+        return segment
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StorageClosedError(f"{self.name} store is closed")
+
+    # -- segments ----------------------------------------------------------------
+
+    def create_segment(self, name: str, description: str = "") -> str:
+        self._check_open()
+        if not self.supports_segments:
+            # Accept and ignore: callers written for ObjectStore run
+            # unchanged, they just lose clustering control.
+            return DEFAULT_SEGMENT
+        if name not in self._segments:
+            self._make_segment(name, description)
+        return name
+
+    def segment_names(self) -> list[str]:
+        return list(self._segments)
+
+    def _resolve_segment(self, segment: str | None) -> Segment:
+        if not self.supports_segments or segment is None:
+            return self._segments[DEFAULT_SEGMENT]
+        try:
+            return self._segments[segment]
+        except KeyError:
+            raise UnknownSegmentError(f"unknown segment {segment!r}") from None
+
+    def segment_of(self, oid: int) -> str:
+        """Name of the segment holding an object (its first chunk)."""
+        entry = self._entry(oid)
+        page_id = entry[1][0][0] if entry[0] == "L" else entry[0]
+        page = self._pool.fetch(page_id)
+        return self._segment_by_id[page.segment_id].name
+
+    # -- record placement ---------------------------------------------------------
+
+    def _place_record(self, payload: bytes, segment: Segment) -> tuple[int, int]:
+        """Find or open a page for a record; returns (page_id, slot)."""
+        charged = self._charge(len(payload))
+        for page_id in segment.candidate_pages():
+            page = self._pool.fetch(page_id)
+            if page.fits(charged):
+                slot = page.insert(payload, charged)
+                return page_id, slot
+            segment.drop_candidate(page_id)
+        page = self._new_page(segment)
+        slot = page.insert(payload, charged)
+        return page.page_id, slot
+
+    @staticmethod
+    def _compute_chunk_payload(charge_policy: ChargePolicy) -> int:
+        """Largest chunk size whose *charged* size still fits a page.
+
+        Texas's power-of-two cells charge a 3 KB chunk a full 4 KB, so
+        the safe chunk size depends on the charge policy, not just on
+        CHUNK_PAYLOAD_BYTES.
+        """
+        size = CHUNK_PAYLOAD_BYTES
+        while size > 1 and charge_policy(size) > MAX_RECORD_BYTES:
+            size -= 1
+        return size
+
+    def _store_payload(self, payload: bytes, segment: Segment) -> object:
+        """Store a serialized record, chunking if oversized.
+
+        Returns a directory entry: (page_id, slot) or ("L", [locations]).
+        """
+        charged = self._charge(len(payload))
+        if charged <= MAX_RECORD_BYTES:
+            return self._place_record(payload, segment)
+        step = self._chunk_payload_bytes
+        locations = []
+        for start in range(0, len(payload), step):
+            chunk = payload[start:start + step]
+            locations.append(self._place_record(chunk, segment))
+        return ("L", locations)
+
+    def _free_entry(self, entry: object) -> None:
+        locations = entry[1] if entry[0] == "L" else [entry]
+        for page_id, slot in locations:
+            page = self._pool.fetch(page_id)
+            page.delete(slot)
+            segment = self._segment_by_id[page.segment_id]
+            segment.note_free_space(page_id, page.free_bytes)
+
+    def _entry(self, oid: int) -> object:
+        try:
+            return self._directory[oid]
+        except KeyError:
+            raise UnknownOidError(oid) from None
+
+    # -- object API ------------------------------------------------------------------
+
+    def allocate_write(self, obj: object, segment: str | None = None) -> int:
+        self._check_open()
+        seg = self._resolve_segment(segment)
+        payload = serializer.serialize(obj)
+        oid = self._oid_alloc.allocate()
+        self._journal_dir(oid)
+        self._directory[oid] = self._store_payload(payload, seg)
+        self.stats.objects_written += 1
+        self.stats.bytes_written += len(payload)
+        return oid
+
+    def write(self, oid: int, obj: object) -> None:
+        self._check_open()
+        entry = self._entry(oid)
+        payload = serializer.serialize(obj)
+        charged = self._charge(len(payload))
+        # Fast path: small record replaced in place on its current page.
+        if entry[0] != "L" and charged <= MAX_RECORD_BYTES:
+            page_id, slot = entry
+            page = self._pool.fetch(page_id)
+            if page.can_replace(slot, charged):
+                page.replace(slot, payload, charged)
+                self.stats.objects_written += 1
+                self.stats.bytes_written += len(payload)
+                return
+        # Slow path: free old space, restore placement in the same segment.
+        first_page_id = entry[1][0][0] if entry[0] == "L" else entry[0]
+        segment = self._segment_by_id[self._pool.fetch(first_page_id).segment_id]
+        self._journal_dir(oid)
+        self._free_entry(entry)
+        self._directory[oid] = self._store_payload(payload, segment)
+        self.stats.objects_written += 1
+        self.stats.bytes_written += len(payload)
+
+    def read(self, oid: int) -> object:
+        self._check_open()
+        entry = self._entry(oid)
+        if entry[0] == "L":
+            payload = b"".join(
+                self._pool.fetch(page_id).read(slot) for page_id, slot in entry[1]
+            )
+        else:
+            page_id, slot = entry
+            payload = self._pool.fetch(page_id).read(slot)
+        self.stats.objects_read += 1
+        self.stats.bytes_read += len(payload)
+        return serializer.deserialize(payload)
+
+    def exists(self, oid: int) -> bool:
+        self._check_open()
+        return oid in self._directory
+
+    def delete(self, oid: int) -> None:
+        self._check_open()
+        entry = self._entry(oid)
+        self._journal_dir(oid)
+        self._free_entry(entry)
+        del self._directory[oid]
+        self.stats.objects_deleted += 1
+
+    def oids(self) -> Iterator[int]:
+        self._check_open()
+        return iter(list(self._directory))
+
+    # -- roots ----------------------------------------------------------------------
+
+    def set_root(self, name: str, oid: int) -> None:
+        self._check_open()
+        if oid not in self._directory:
+            raise UnknownOidError(oid)
+        self._roots[name] = oid
+
+    def get_root(self, name: str) -> int | None:
+        self._check_open()
+        return self._roots.get(name)
+
+    # -- transactions --------------------------------------------------------------------
+
+    def begin(self) -> None:
+        self._check_open()
+        if self._in_txn:
+            raise TransactionError("transaction already in progress")
+        # Writes before begin() must be on disk before the transaction
+        # starts, otherwise abort's drop_dirty would lose them.
+        self._pool.flush_dirty()
+        self._undo_dir = {}
+        self._undo_small = {
+            "roots": dict(self._roots),
+            "oid_high": self._oid_alloc.high_water,
+            "page_high": self._page_alloc.high_water,
+            "segments": [seg.to_meta() for seg in self._segments.values()],
+        }
+        self._in_txn = True
+
+    def _journal_dir(self, oid: int) -> None:
+        """Record an oid's pre-transaction directory entry, once."""
+        if self._in_txn and oid not in self._undo_dir:  # type: ignore[operator]
+            self._undo_dir[oid] = self._directory.get(oid, _ABSENT)  # type: ignore[index]
+
+    def commit(self) -> None:
+        """Flush dirty pages (durability of data pages).
+
+        Metadata is persisted by :meth:`checkpoint` and :meth:`close`,
+        not per commit — matching how the 1996 stores wrote data pages
+        eagerly but maintained their maps in virtual memory.
+        """
+        self._check_open()
+        self._pool.flush_dirty()
+        self._disk.sync()
+        self._in_txn = False
+        self._undo_dir = None
+        self._undo_small = None
+        self.stats.commits += 1
+        if self.checkpoint_every:
+            self._commits_since_checkpoint += 1
+            if self._commits_since_checkpoint >= self.checkpoint_every:
+                self._disk.write_meta(self._meta())
+                self._disk.sync()
+                self._commits_since_checkpoint = 0
+
+    def abort(self) -> None:
+        self._check_open()
+        if not self._in_txn:
+            raise TransactionError("abort without a transaction")
+        self._pool.drop_dirty()
+        assert self._undo_dir is not None and self._undo_small is not None
+        for oid, old_entry in self._undo_dir.items():
+            if old_entry is _ABSENT:
+                self._directory.pop(oid, None)
+            else:
+                self._directory[oid] = old_entry
+        self._roots = self._undo_small["roots"]
+        self._oid_alloc = OidAllocator(start=self._undo_small["oid_high"])
+        self._page_alloc = OidAllocator(start=self._undo_small["page_high"])
+        self._segments = {}
+        self._segment_by_id = {}
+        for seg_meta in self._undo_small["segments"]:
+            segment = Segment.from_meta(seg_meta)
+            self._segments[segment.name] = segment
+            self._segment_by_id[segment.segment_id] = segment
+        self._undo_dir = None
+        self._undo_small = None
+        self._in_txn = False
+        self.stats.aborts += 1
+
+    def checkpoint(self) -> None:
+        """Flush pages *and* persist metadata (directory, roots, segments)."""
+        self._check_open()
+        if self._in_txn:
+            raise TransactionError("checkpoint inside an open transaction")
+        self._flush_all()
+
+    def _flush_all(self) -> None:
+        self._pool.flush_dirty()
+        self._disk.write_meta(self._meta())
+        self._disk.sync()
+
+    # -- accounting ------------------------------------------------------------------
+
+    def size_bytes(self) -> int:
+        self._check_open()
+        # Allocated pages + current metadata blob, matching what the 1996
+        # size column measured: the database file(s) on disk.
+        return self._disk.size_bytes + len_meta(self)
+
+    def buffer_resident_pages(self) -> int:
+        return self._pool.resident_pages
+
+    def recover(self) -> dict[str, int]:
+        """Reconcile state after a crash-reopen from a rolling checkpoint.
+
+        Data pages are flushed at every commit but metadata only at
+        checkpoints, so a crash leaves the reopened directory *older*
+        than the pages: entries may reference slots that later commits
+        deleted or moved (dangling), and pages may hold records the old
+        directory never heard of (orphans).  There is no write-ahead
+        log to redo from — the 1996 stores offered none either — so
+        recovery reconciles to the checkpoint state: dangling entries
+        and their roots are dropped, orphan slots are vacuumed.
+
+        Returns ``{"dropped_objects": ..., "dropped_roots": ...,
+        "vacuumed_slots": ...}``.  After recover(), ``verify`` passes.
+        """
+        self._check_open()
+        dropped = 0
+        for oid in list(self._directory):
+            entry = self._directory[oid]
+            locations = entry[1] if entry[0] == "L" else [entry]
+            intact = True
+            for page_id, slot in locations:
+                try:
+                    self._pool.fetch(page_id).read(slot)
+                except Exception:
+                    intact = False
+                    break
+            if not intact:
+                del self._directory[oid]
+                dropped += 1
+        dropped_roots = 0
+        for name in list(self._roots):
+            if self._roots[name] not in self._directory:
+                del self._roots[name]
+                dropped_roots += 1
+        vacuumed = self.vacuum_orphans()
+        return {
+            "dropped_objects": dropped,
+            "dropped_roots": dropped_roots,
+            "vacuumed_slots": vacuumed,
+        }
+
+    def vacuum_orphans(self) -> int:
+        """Delete occupied slots no directory entry references.
+
+        After crash recovery (a reopen from a metadata checkpoint older
+        than the last flushed pages), pages may hold records whose
+        directory entries were lost.  Vacuuming reclaims them; returns
+        the number of slots freed.
+        """
+        self._check_open()
+        referenced: set[tuple[int, int]] = set()
+        for entry in self._directory.values():
+            locations = entry[1] if entry[0] == "L" else [entry]
+            for location in locations:
+                referenced.add(tuple(location))
+        freed = 0
+        for segment in self._segments.values():
+            for page_id in list(segment.page_ids):
+                page = self._pool.fetch(page_id)
+                for slot in list(page.slots()):
+                    if (page_id, slot) not in referenced:
+                        page.delete(slot)
+                        segment.note_free_space(page_id, page.free_bytes)
+                        freed += 1
+        return freed
+
+    def drop_buffer(self) -> None:
+        """Flush dirty pages, then empty the buffer pool.
+
+        Used by the locality experiments (E5, A2) to measure queries
+        against a cold cache, where every page touched is a fault.
+        """
+        self._check_open()
+        self._pool.flush_dirty()
+        self._pool.clear()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        if self._in_txn:
+            raise TransactionError("close() inside an open transaction")
+        self._flush_all()
+        self._disk.close()
+        self._closed = True
+
+
+def len_meta(manager: PagedStorageManager) -> int:
+    """Current metadata blob size without persisting it."""
+    import pickle
+
+    return len(pickle.dumps(manager._meta(), protocol=4))

@@ -1,0 +1,139 @@
+"""Buffer pool with fault accounting.
+
+Every page access goes through the pool.  A miss on a page that exists on
+disk is counted as a *major fault* — the simulated stand-in for the
+paper's ``majflt`` column (on 1996 hardware the databases exceeded RAM,
+so OS page faults measured locality of reference; see
+``repro.util.timing``).
+
+Replacement is LRU over *clean* pages only (a no-steal policy): dirty
+pages hold uncommitted data, and flushing them before commit would break
+abort.  If every resident page is dirty the pool temporarily grows past
+its capacity and records the overflow, which the buffer-sweep ablation
+(A2) reports.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable
+
+from repro.storage.page import Page
+from repro.storage.stats import StorageStats
+
+#: Default pool capacity in pages (256 pages * 4 KiB = 1 MiB), chosen so
+#: the default benchmark database does not fit — otherwise every server
+#: version would show zero faults and E5 would be vacuous.
+DEFAULT_POOL_PAGES = 256
+
+LoadPage = Callable[[int], Page]
+FlushPage = Callable[[Page], None]
+FaultHook = Callable[[Page], None]
+
+
+class BufferPool:
+    """LRU page cache shared by all segments of one store."""
+
+    def __init__(
+        self,
+        capacity_pages: int,
+        load_page: LoadPage,
+        flush_page: FlushPage,
+        stats: StorageStats,
+        fault_hook: FaultHook | None = None,
+    ) -> None:
+        if capacity_pages < 1:
+            raise ValueError("buffer pool needs at least one page")
+        self.capacity_pages = capacity_pages
+        self._load_page = load_page
+        self._flush_page = flush_page
+        self._stats = stats
+        self._fault_hook = fault_hook
+        self._pages: OrderedDict[int, Page] = OrderedDict()
+        self.overflow_high_water = 0  # max pages resident beyond capacity
+
+    # -- access ---------------------------------------------------------------
+
+    def fetch(self, page_id: int) -> Page:
+        """Return the page, loading it from disk on a miss (a fault)."""
+        page = self._pages.get(page_id)
+        if page is not None:
+            self._pages.move_to_end(page_id)
+            self._stats.buffer_hits += 1
+            return page
+        page = self._load_page(page_id)
+        self._stats.major_faults += 1
+        self._stats.page_reads += 1
+        if self._fault_hook is not None:
+            self._fault_hook(page)
+        self._admit(page)
+        return page
+
+    def admit_new(self, page: Page) -> None:
+        """Install a freshly created page (not a fault: nothing was read)."""
+        self._admit(page)
+
+    def _admit(self, page: Page) -> None:
+        self._pages[page.page_id] = page
+        self._pages.move_to_end(page.page_id)
+        self._evict_if_needed()
+
+    def _evict_if_needed(self) -> None:
+        while len(self._pages) > self.capacity_pages:
+            victim_id = self._clean_lru_victim()
+            if victim_id is None:
+                # All pages dirty: no-steal policy forbids eviction.
+                overflow = len(self._pages) - self.capacity_pages
+                self.overflow_high_water = max(self.overflow_high_water, overflow)
+                return
+            del self._pages[victim_id]
+
+    def _clean_lru_victim(self) -> int | None:
+        newest = next(reversed(self._pages), None)
+        for page_id, page in self._pages.items():  # oldest first
+            if page_id == newest:
+                continue  # never evict the page just admitted/touched
+            if not page.dirty:
+                return page_id
+        return None
+
+    # -- write-back -------------------------------------------------------------
+
+    def flush_dirty(self) -> int:
+        """Write every dirty resident page to disk; returns pages written."""
+        written = 0
+        for page in self._pages.values():
+            if page.dirty:
+                self._flush_page(page)
+                page.dirty = False
+                written += 1
+        self._stats.page_writes += written
+        self._evict_if_needed()
+        return written
+
+    def drop_dirty(self) -> int:
+        """Discard every dirty page without writing (abort path)."""
+        dirty_ids = [pid for pid, page in self._pages.items() if page.dirty]
+        for page_id in dirty_ids:
+            del self._pages[page_id]
+        return len(dirty_ids)
+
+    def drop(self, page_id: int) -> None:
+        """Remove one page from the pool if resident (page deallocated)."""
+        self._pages.pop(page_id, None)
+
+    def clear(self) -> None:
+        """Empty the pool (dirty pages are lost; call flush_dirty first)."""
+        self._pages.clear()
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self._pages)
+
+    def resident_ids(self) -> list[int]:
+        return list(self._pages)
+
+    def is_resident(self, page_id: int) -> bool:
+        return page_id in self._pages

@@ -1,0 +1,124 @@
+"""The simulated disk: a page file plus a metadata side file.
+
+``PageFile`` stores fixed-size pages at ``page_id * PAGE_SIZE`` offsets in
+a single file, exactly like the 1996 stores' database files, so the
+paper's ``size (bytes)`` column is simply the file's allocated length.
+When constructed without a path it keeps pages in a dict — used by tests
+and by benchmark configurations that only care about fault counts, not
+real I/O latency.
+
+Metadata (object directory, segment table, roots, allocator high-water
+mark) is persisted on commit as one pickled blob in a ``.meta`` side
+file.  Real persistent stores keep this mapping in swizzled virtual
+addresses (Texas) or internal B-trees (ObjectStore); modelling it as a
+side file keeps both simulated managers identical in this respect while
+still counting the bytes toward database size.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+from repro.errors import StorageError
+from repro.storage.page import PAGE_SIZE
+
+
+class PageFile:
+    """Page-granular storage backed by a real file or by memory."""
+
+    def __init__(self, path: str | None = None) -> None:
+        self.path = path
+        self._mem: dict[int, bytes] = {}
+        self._page_count = 0
+        self._file = None
+        if path is not None:
+            # "x+b" would refuse reopening; support both create and reopen.
+            mode = "r+b" if os.path.exists(path) else "w+b"
+            self._file = open(path, mode)
+            size = os.path.getsize(path)
+            if size % PAGE_SIZE:
+                raise StorageError(
+                    f"{path}: size {size} is not a multiple of the page size"
+                )
+            self._page_count = size // PAGE_SIZE
+
+    @property
+    def page_count(self) -> int:
+        return self._page_count
+
+    @property
+    def size_bytes(self) -> int:
+        return self._page_count * PAGE_SIZE
+
+    def read_page(self, page_id: int) -> bytes:
+        """Read one page image; raises if the page was never written."""
+        if page_id >= self._page_count:
+            raise StorageError(f"page {page_id} beyond end of store")
+        if self._file is None:
+            image = self._mem.get(page_id)
+            if image is None:
+                raise StorageError(f"page {page_id} was never written")
+            return image
+        self._file.seek(page_id * PAGE_SIZE)
+        image = self._file.read(PAGE_SIZE)
+        if len(image) != PAGE_SIZE:
+            raise StorageError(f"short read on page {page_id}")
+        return image
+
+    def write_page(self, page_id: int, image: bytes) -> None:
+        if len(image) != PAGE_SIZE:
+            raise StorageError(
+                f"page image must be exactly {PAGE_SIZE} bytes, got {len(image)}"
+            )
+        if self._file is None:
+            self._mem[page_id] = image
+        else:
+            self._file.seek(page_id * PAGE_SIZE)
+            self._file.write(image)
+        if page_id >= self._page_count:
+            self._page_count = page_id + 1
+
+    def sync(self) -> None:
+        """Flush file buffers (no-op in memory mode)."""
+        if self._file is not None:
+            self._file.flush()
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    # -- metadata side file ---------------------------------------------------
+
+    def _meta_path(self) -> str | None:
+        return None if self.path is None else self.path + ".meta"
+
+    def write_meta(self, meta: dict) -> int:
+        """Persist the metadata blob; returns its size in bytes."""
+        blob = pickle.dumps(meta, protocol=4)
+        meta_path = self._meta_path()
+        if meta_path is None:
+            self._mem_meta = blob
+        else:
+            with open(meta_path, "wb") as handle:
+                handle.write(blob)
+        self._meta_size = len(blob)
+        return len(blob)
+
+    def read_meta(self) -> dict | None:
+        """Load the metadata blob, or None if none was ever written."""
+        meta_path = self._meta_path()
+        if meta_path is None:
+            blob = getattr(self, "_mem_meta", None)
+            if blob is None:
+                return None
+            return pickle.loads(blob)
+        if not os.path.exists(meta_path):
+            return None
+        with open(meta_path, "rb") as handle:
+            return pickle.loads(handle.read())
+
+    @property
+    def meta_size_bytes(self) -> int:
+        return getattr(self, "_meta_size", 0)

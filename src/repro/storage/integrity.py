@@ -1,0 +1,135 @@
+"""Offline integrity checking for page stores.
+
+``verify(sm)`` walks a :class:`~repro.storage.base.PagedStorageManager`
+and cross-checks every structural invariant the implementation relies
+on.  Tests call it after property-based operation sequences and after
+reopen; it is also handy when developing a new storage manager.
+
+Checked invariants:
+
+I1  every directory entry resolves to a readable slot;
+I2  every record deserializes;
+I3  no two directory entries share a (page, slot) location;
+I4  every occupied slot is referenced by exactly one directory entry
+    (no orphans leaked by delete/rewrite paths);
+I5  each page's ``used_bytes`` equals header + sum of its charges;
+I6  every page belongs to exactly one segment's page list, and the
+    page's ``segment_id`` agrees;
+I7  every root names a live oid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.storage import serializer
+from repro.storage.base import PagedStorageManager
+from repro.storage.page import PAGE_HEADER_BYTES
+
+
+@dataclass
+class IntegrityReport:
+    """Outcome of a verification pass."""
+
+    objects_checked: int = 0
+    pages_checked: int = 0
+    problems: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def fail(self, message: str) -> None:
+        self.problems.append(message)
+
+    def raise_if_bad(self) -> None:
+        if self.problems:
+            raise AssertionError(
+                "storage integrity violated:\n  " + "\n  ".join(self.problems)
+            )
+
+
+def verify(sm: PagedStorageManager) -> IntegrityReport:
+    """Run all integrity checks; never modifies the store."""
+    report = IntegrityReport()
+
+    # collect every location referenced by the directory
+    referenced: dict[tuple[int, int], int] = {}
+    for oid, entry in sm._directory.items():
+        locations = entry[1] if entry[0] == "L" else [entry]
+        for location in locations:
+            location = tuple(location)
+            if location in referenced:
+                report.fail(
+                    f"I3: oids {referenced[location]} and {oid} both claim "
+                    f"location {location}"
+                )
+            referenced[location] = oid
+
+    # I1 + I2: every object readable and decodable
+    for oid in list(sm._directory):
+        try:
+            record = sm.read(oid)
+        except Exception as exc:
+            report.fail(f"I1/I2: oid {oid} unreadable: {exc}")
+            continue
+        try:
+            serializer.validate_plain_data(record)
+        except Exception as exc:
+            report.fail(f"I2: oid {oid} holds non-plain data: {exc}")
+        report.objects_checked += 1
+
+    # segment membership map (I6)
+    page_to_segment: dict[int, int] = {}
+    for segment in sm._segments.values():
+        for page_id in segment.page_ids:
+            if page_id in page_to_segment:
+                report.fail(
+                    f"I6: page {page_id} listed by two segments "
+                    f"({page_to_segment[page_id]} and {segment.segment_id})"
+                )
+            page_to_segment[page_id] = segment.segment_id
+
+    # per-page checks (I4, I5, I6)
+    all_page_ids = sorted(page_to_segment)
+    for page_id in all_page_ids:
+        try:
+            page = sm._pool.fetch(page_id)
+        except Exception as exc:
+            report.fail(f"I6: page {page_id} unreadable: {exc}")
+            continue
+        report.pages_checked += 1
+
+        if page.segment_id != page_to_segment[page_id]:
+            report.fail(
+                f"I6: page {page_id} says segment {page.segment_id}, "
+                f"segment table says {page_to_segment[page_id]}"
+            )
+
+        expected_used = PAGE_HEADER_BYTES + sum(page._charges.values())
+        if page.used_bytes != expected_used:
+            report.fail(
+                f"I5: page {page_id} used_bytes {page.used_bytes} != "
+                f"header + charges {expected_used}"
+            )
+
+        for slot in page.slots():
+            if (page_id, slot) not in referenced:
+                report.fail(
+                    f"I4: orphan record at page {page_id} slot {slot} "
+                    "(occupied but unreferenced)"
+                )
+
+    # dangling directory locations (pages that no segment owns)
+    for (page_id, slot), oid in referenced.items():
+        if page_id not in page_to_segment:
+            report.fail(
+                f"I6: oid {oid} references page {page_id} owned by no segment"
+            )
+
+    # I7: roots point at live objects
+    for name, oid in sm._roots.items():
+        if oid not in sm._directory:
+            report.fail(f"I7: root {name!r} names dead oid {oid}")
+
+    return report

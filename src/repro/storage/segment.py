@@ -1,0 +1,83 @@
+"""Segments: named clustering units.
+
+ObjectStore lets the application place related objects in the same
+segment; pages belong to exactly one segment, so a segment's objects are
+contiguous on disk.  LabBase exploits this with four segments — three
+small hot ones and one large cold one — which is the locality-control
+mechanism the paper's experiments highlight.
+
+A segment tracks which of its pages have free space so allocation can
+fill holes left by deletions before extending the store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Pages with at least this much free space are allocation candidates.
+REUSE_THRESHOLD_BYTES = 128
+
+DEFAULT_SEGMENT = "default"
+
+
+@dataclass
+class Segment:
+    """Bookkeeping for one clustering unit."""
+
+    segment_id: int
+    name: str
+    description: str = ""
+    page_ids: list[int] = field(default_factory=list)
+    # Pages believed to have reusable free space (checked on allocation).
+    _free_candidates: set[int] = field(default_factory=set)
+
+    @property
+    def page_count(self) -> int:
+        return len(self.page_ids)
+
+    def add_page(self, page_id: int) -> None:
+        self.page_ids.append(page_id)
+
+    def note_free_space(self, page_id: int, free_bytes: int) -> None:
+        """Record that a page gained free space (after a delete)."""
+        if free_bytes >= REUSE_THRESHOLD_BYTES:
+            self._free_candidates.add(page_id)
+
+    def candidate_pages(self) -> list[int]:
+        """Pages to try before opening a new one (most recent first).
+
+        The segment's tail page is always tried first: append-mostly
+        workloads then fill pages densely in allocation order.
+        """
+        candidates: list[int] = []
+        if self.page_ids:
+            candidates.append(self.page_ids[-1])
+        candidates.extend(
+            page_id for page_id in self._free_candidates
+            if not candidates or page_id != candidates[0]
+        )
+        return candidates
+
+    def drop_candidate(self, page_id: int) -> None:
+        self._free_candidates.discard(page_id)
+
+    def to_meta(self) -> dict:
+        """Plain-data form for the store's metadata record."""
+        return {
+            "segment_id": self.segment_id,
+            "name": self.name,
+            "description": self.description,
+            "page_ids": list(self.page_ids),
+            "free_candidates": sorted(self._free_candidates),
+        }
+
+    @classmethod
+    def from_meta(cls, meta: dict) -> "Segment":
+        segment = cls(
+            segment_id=meta["segment_id"],
+            name=meta["name"],
+            description=meta.get("description", ""),
+            page_ids=list(meta["page_ids"]),
+        )
+        segment._free_candidates = set(meta.get("free_candidates", ()))
+        return segment

@@ -1,0 +1,66 @@
+"""Record (de)serialization for the storage managers.
+
+Objects handed to a storage manager must be *plain data*: combinations of
+``None``, ``bool``, ``int``, ``float``, ``str``, ``bytes``, ``list``,
+``tuple``, ``dict`` and ``set``.  This mirrors what the 1996 storage
+managers persisted (C structs plus collections) and keeps stored state
+independent of Python class definitions, which is what lets LabBase
+implement schema evolution *above* the storage layer.
+
+Pickle (protocol 4) is used as the wire format: it is deterministic for
+plain data, measures realistic byte sizes for the paper's ``size (bytes)``
+column, and round-trips exactly.  ``validate_plain_data`` rejects
+arbitrary objects up front so a class instance can never sneak into a
+page.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.errors import StorageError
+
+_PLAIN_SCALARS = (type(None), bool, int, float, str, bytes)
+
+
+def validate_plain_data(obj: object, _depth: int = 0) -> None:
+    """Raise :class:`StorageError` unless ``obj`` is plain data.
+
+    Depth is bounded to catch pathological self-referencing structures
+    before pickle recurses into them.
+    """
+    if _depth > 100:
+        raise StorageError("record nests deeper than 100 levels (cycle?)")
+    if isinstance(obj, _PLAIN_SCALARS):
+        return
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        for item in obj:
+            validate_plain_data(item, _depth + 1)
+        return
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            validate_plain_data(key, _depth + 1)
+            validate_plain_data(value, _depth + 1)
+        return
+    raise StorageError(
+        f"records must be plain data; got {type(obj).__name__}"
+    )
+
+
+def serialize(obj: object) -> bytes:
+    """Encode a plain-data object to bytes."""
+    validate_plain_data(obj)
+    return pickle.dumps(obj, protocol=4)
+
+
+def deserialize(payload: bytes) -> object:
+    """Decode bytes produced by :func:`serialize`."""
+    try:
+        return pickle.loads(payload)
+    except Exception as exc:  # corrupt page
+        raise StorageError(f"corrupt record payload: {exc}") from exc
+
+
+def record_size(obj: object) -> int:
+    """Serialized size of an object, in bytes."""
+    return len(serialize(obj))

@@ -1,0 +1,60 @@
+"""Counters every storage manager maintains.
+
+The benchmark harness reads these to fill the paper's resource table:
+``major_faults`` stands in for the paper's ``majflt`` column (see
+``repro.util.timing`` for why), and the remaining counters feed the
+locality and ablation experiments (E5, A2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class StorageStats:
+    """Mutable counter block attached to a storage manager."""
+
+    page_reads: int = 0          # pages brought into the buffer pool from disk
+    page_writes: int = 0         # pages written back to disk
+    major_faults: int = 0        # buffer-pool misses (the simulated majflt)
+    buffer_hits: int = 0         # buffer-pool hits
+    objects_read: int = 0
+    objects_written: int = 0
+    objects_deleted: int = 0
+    bytes_read: int = 0          # serialized record bytes deserialized
+    bytes_written: int = 0       # serialized record bytes written
+    swizzle_operations: int = 0  # Texas: pointer slots swizzled at fault time
+    lock_acquisitions: int = 0   # ObjectStore: page-lock grants
+    lock_waits: int = 0          # ObjectStore: lock conflicts observed
+    commits: int = 0
+    aborts: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter (used between benchmark intervals)."""
+        for name in self.__dataclass_fields__:
+            setattr(self, name, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        """An immutable copy of the counters as a plain dict."""
+        return {name: getattr(self, name) for name in self.__dataclass_fields__}
+
+    def delta(self, earlier: dict[str, int]) -> dict[str, int]:
+        """Counter increments since an earlier :meth:`snapshot`."""
+        return {
+            name: getattr(self, name) - earlier.get(name, 0)
+            for name in self.__dataclass_fields__
+        }
+
+    @property
+    def hit_ratio(self) -> float:
+        """Buffer-pool hit ratio in [0, 1]; 1.0 when no accesses occurred."""
+        accesses = self.buffer_hits + self.major_faults
+        if accesses == 0:
+            return 1.0
+        return self.buffer_hits / accesses
+
+
+# Field list is part of the public contract: tests assert that no counter
+# is silently dropped when the harness renders extended reports.
+STAT_FIELDS: tuple[str, ...] = tuple(StorageStats.__dataclass_fields__)

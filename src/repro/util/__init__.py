@@ -1,0 +1,15 @@
+"""Shared utilities: id allocation, timing/metering, RNG, table formatting."""
+
+from repro.util.ids import OidAllocator
+from repro.util.rng import DeterministicRng
+from repro.util.timing import ResourceMeter, ResourceUsage
+from repro.util.fmt import format_table, format_bytes
+
+__all__ = [
+    "OidAllocator",
+    "DeterministicRng",
+    "ResourceMeter",
+    "ResourceUsage",
+    "format_table",
+    "format_bytes",
+]

@@ -1,0 +1,61 @@
+"""Plain-text table rendering for benchmark reports.
+
+The harness prints results in the same layout as the paper's Section 10
+table: a ``Resource`` column on the left and one column per server
+version, grouped by measurement interval.  Keeping the renderer here (and
+dependency-free) lets tests assert on report content without pulling in a
+formatting library.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_bytes(count: int) -> str:
+    """Human-readable byte count (exact below 10 KiB, scaled above)."""
+    if count < 10 * 1024:
+        return f"{count} B"
+    value = float(count)
+    for unit in ("KiB", "MiB", "GiB", "TiB"):
+        value /= 1024.0
+        if value < 1024.0:
+            return f"{value:.2f} {unit}"
+    return f"{value:.2f} PiB"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    align_right: Sequence[int] = (),
+) -> str:
+    """Render a monospace table.
+
+    ``align_right`` lists column indexes to right-align (numeric columns);
+    all other columns are left-aligned.
+    """
+    cells = [[str(h) for h in headers]]
+    cells.extend([str(value) for value in row] for row in rows)
+    n_cols = max(len(row) for row in cells)
+    for row in cells:
+        row.extend([""] * (n_cols - len(row)))
+    widths = [max(len(row[col]) for row in cells) for col in range(n_cols)]
+    right = set(align_right)
+
+    def render_row(row: list[str]) -> str:
+        parts = []
+        for col, value in enumerate(row):
+            if col in right:
+                parts.append(value.rjust(widths[col]))
+            else:
+                parts.append(value.ljust(widths[col]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(cells[0]))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in cells[1:])
+    return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""Object-identifier allocation.
+
+LabBase and the storage managers both hand out monotonically increasing
+integer oids.  Keeping allocation in one small class makes persistence
+(the allocator's high-water mark is stored in the store header) and
+testing straightforward.
+"""
+
+from __future__ import annotations
+
+
+class OidAllocator:
+    """Monotonically increasing integer id source.
+
+    The first id handed out is ``start`` (default 1, so 0 can serve as a
+    null oid).  The allocator can be re-seeded from a persisted high-water
+    mark via :meth:`restore`.
+    """
+
+    __slots__ = ("_next",)
+
+    def __init__(self, start: int = 1) -> None:
+        if start < 0:
+            raise ValueError("oid start must be non-negative")
+        self._next = start
+
+    def allocate(self) -> int:
+        """Return a fresh, never-before-returned id."""
+        oid = self._next
+        self._next += 1
+        return oid
+
+    def allocate_many(self, count: int) -> range:
+        """Reserve ``count`` consecutive ids and return them as a range."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        first = self._next
+        self._next += count
+        return range(first, first + count)
+
+    @property
+    def high_water(self) -> int:
+        """The next id that would be allocated (for persistence)."""
+        return self._next
+
+    def restore(self, high_water: int) -> None:
+        """Re-seed from a persisted high-water mark.
+
+        Never moves backwards: restoring a stale mark cannot cause id reuse.
+        """
+        if high_water > self._next:
+            self._next = high_water

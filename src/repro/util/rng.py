@@ -1,0 +1,90 @@
+"""Deterministic random-number helpers for workload generation.
+
+The benchmark must be reproducible: the same seed must yield the same
+stream of materials, steps, attribute values and BLAST hits, so that runs
+against different storage managers see *identical* workloads (the paper
+runs the same stream against every server version).
+
+``DeterministicRng`` wraps :class:`random.Random` with the domain-specific
+draws the generators need, plus named substreams so that adding draws in
+one part of the generator does not perturb another.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence, TypeVar
+
+T = TypeVar("T")
+
+_BASES = "ACGT"
+
+
+class DeterministicRng:
+    """Seeded RNG with named, independent substreams.
+
+    >>> rng = DeterministicRng(42)
+    >>> a = rng.substream("materials").randint(0, 10)
+    >>> b = DeterministicRng(42).substream("materials").randint(0, 10)
+    >>> a == b
+    True
+    """
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self._random = random.Random(seed)
+        self._substreams: dict[str, DeterministicRng] = {}
+
+    # -- substreams --------------------------------------------------------
+
+    def substream(self, name: str) -> "DeterministicRng":
+        """Return a child RNG whose stream depends only on (seed, name)."""
+        stream = self._substreams.get(name)
+        if stream is None:
+            child_seed = random.Random((self.seed, name).__repr__()).getrandbits(64)
+            stream = DeterministicRng(child_seed)
+            self._substreams[name] = stream
+        return stream
+
+    # -- primitive draws ----------------------------------------------------
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in [low, high], inclusive."""
+        return self._random.randint(low, high)
+
+    def random(self) -> float:
+        return self._random.random()
+
+    def uniform(self, low: float, high: float) -> float:
+        return self._random.uniform(low, high)
+
+    def choice(self, seq: Sequence[T]) -> T:
+        return self._random.choice(seq)
+
+    def sample(self, seq: Sequence[T], k: int) -> list[T]:
+        return self._random.sample(seq, k)
+
+    def shuffle(self, items: list) -> None:
+        self._random.shuffle(items)
+
+    def chance(self, probability: float) -> bool:
+        """True with the given probability."""
+        return self._random.random() < probability
+
+    def weighted_choice(self, items: Sequence[T], weights: Sequence[float]) -> T:
+        """One draw from ``items`` with the given relative weights."""
+        return self._random.choices(items, weights=weights, k=1)[0]
+
+    # -- domain draws -------------------------------------------------------
+
+    def dna(self, length: int) -> str:
+        """A random DNA sequence of the given length."""
+        return "".join(self._random.choice(_BASES) for _ in range(length))
+
+    def identifier(self, prefix: str, width: int = 6) -> str:
+        """A synthetic lab identifier such as ``clone-004217``."""
+        return f"{prefix}-{self._random.randrange(10 ** width):0{width}d}"
+
+    def gaussian_int(self, mean: float, stddev: float, minimum: int = 0) -> int:
+        """A normally distributed integer, clamped below at ``minimum``."""
+        return max(minimum, round(self._random.gauss(mean, stddev)))

@@ -1,0 +1,38 @@
+"""Workflow modelling and execution (paper Sections 2.2 and Appendix B)."""
+
+from repro.workflow.dsl import load_workflow, parse_workflow, render_workflow
+from repro.workflow.engine import (
+    EngineCounters,
+    StepEvent,
+    WorkflowEngine,
+    default_value_factory,
+)
+from repro.workflow.genome import build_genome_spec, build_genome_workflow
+from repro.workflow.graph import WorkflowGraph
+from repro.workflow.spec import (
+    AttributeSpec,
+    MaterialSpec,
+    StepSpec,
+    Transition,
+    ValueKind,
+    WorkflowSpec,
+)
+
+__all__ = [
+    "WorkflowGraph",
+    "load_workflow",
+    "parse_workflow",
+    "render_workflow",
+    "WorkflowEngine",
+    "WorkflowSpec",
+    "MaterialSpec",
+    "StepSpec",
+    "AttributeSpec",
+    "Transition",
+    "ValueKind",
+    "StepEvent",
+    "EngineCounters",
+    "default_value_factory",
+    "build_genome_spec",
+    "build_genome_workflow",
+]

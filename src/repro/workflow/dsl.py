@@ -1,0 +1,295 @@
+"""A small text DSL for workflow specifications.
+
+The paper presents its workflow as an appendix listing; labs maintain
+such definitions as documents, not Python.  This module parses a
+line-oriented description into a :class:`WorkflowSpec`, so workflows
+can be versioned as plain text and loaded at run time — which is also
+how the examples keep alternative workflows without code changes.
+
+Grammar (``#`` starts a comment; blank lines ignored)::
+
+    workflow <name>
+
+    material <class> key <prefix> [initial <state>] [is-a <parent>]
+        [-- description text]
+
+    step <class> involves <class>[, <class>...] [creates <class>[, ...]]
+        [-- description text]
+        attr <name> : <kind>            # one line per attribute
+        ...
+
+    transition <from-state> -> <to-state> via <step>
+        [fail <probability> -> <fail-state> [test <test-name>]]
+
+    terminal <state>[, <state>...]
+
+Kinds are the :class:`~repro.workflow.spec.ValueKind` values:
+``identifier dna integer float text date hit_list``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidWorkflowError
+from repro.workflow.graph import WorkflowGraph
+from repro.workflow.spec import (
+    AttributeSpec,
+    MaterialSpec,
+    StepSpec,
+    Transition,
+    ValueKind,
+    WorkflowSpec,
+)
+
+_KINDS = {kind.value: kind for kind in ValueKind}
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self._lines = text.splitlines()
+        self.name: str | None = None
+        self.materials: list[MaterialSpec] = []
+        self.steps: list[StepSpec] = []
+        self.transitions: list[Transition] = []
+        self.terminals: list[str] = []
+        # mutable accumulation for the step currently being defined
+        self._step_header: dict | None = None
+        self._step_attrs: list[AttributeSpec] = []
+
+    def parse(self) -> WorkflowSpec:
+        for number, raw in enumerate(self._lines, start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            try:
+                self._dispatch(line)
+            except Exception as exc:
+                raise InvalidWorkflowError(
+                    f"workflow DSL line {number}: {exc}: {raw.strip()!r}"
+                ) from exc
+        self._flush_step()
+        if self.name is None:
+            raise InvalidWorkflowError("workflow DSL: missing 'workflow <name>'")
+        return WorkflowSpec(
+            name=self.name,
+            materials=self.materials,
+            steps=self.steps,
+            transitions=self.transitions,
+            terminal_states=tuple(self.terminals),
+        )
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _dispatch(self, line: str) -> None:
+        keyword = line.split(None, 1)[0]
+        if keyword == "attr":
+            self._parse_attr(line)
+            return
+        # any non-attr directive closes the open step block
+        if keyword != "attr":
+            self._flush_step_if(keyword)
+        if keyword == "workflow":
+            self.name = _rest(line, "workflow")
+        elif keyword == "material":
+            self._parse_material(line)
+        elif keyword == "step":
+            self._parse_step_header(line)
+        elif keyword == "transition":
+            self._parse_transition(line)
+        elif keyword == "terminal":
+            names = _rest(line, "terminal")
+            self.terminals.extend(n.strip() for n in names.split(","))
+        else:
+            raise InvalidWorkflowError(f"unknown directive {keyword!r}")
+
+    def _flush_step_if(self, keyword: str) -> None:
+        if self._step_header is not None and keyword != "attr":
+            self._flush_step()
+
+    def _flush_step(self) -> None:
+        if self._step_header is None:
+            return
+        header = self._step_header
+        self.steps.append(
+            StepSpec(
+                class_name=header["name"],
+                attributes=tuple(self._step_attrs),
+                involves_classes=tuple(header["involves"]),
+                creates=tuple(header["creates"]),
+                description=header["description"],
+            )
+        )
+        self._step_header = None
+        self._step_attrs = []
+
+    # -- directives --------------------------------------------------------------
+
+    def _parse_material(self, line: str) -> None:
+        body, description = _split_description(_rest(line, "material"))
+        tokens = body.split()
+        name = tokens.pop(0)
+        prefix = name
+        initial = None
+        parent = None
+        while tokens:
+            keyword = tokens.pop(0)
+            if keyword == "key":
+                prefix = tokens.pop(0)
+            elif keyword == "initial":
+                initial = tokens.pop(0)
+            elif keyword == "is-a":
+                parent = tokens.pop(0)
+            else:
+                raise InvalidWorkflowError(f"material: unknown token {keyword!r}")
+        self.materials.append(
+            MaterialSpec(
+                class_name=name,
+                key_prefix=prefix,
+                initial_state=initial,
+                parent=parent,
+                description=description,
+            )
+        )
+
+    def _parse_step_header(self, line: str) -> None:
+        body, description = _split_description(_rest(line, "step"))
+        tokens = body.replace(",", " , ").split()
+        name = tokens.pop(0)
+        involves: list[str] = []
+        creates: list[str] = []
+        target: list[str] | None = None
+        for token in tokens:
+            if token == "involves":
+                target = involves
+            elif token == "creates":
+                target = creates
+            elif token == ",":
+                continue
+            else:
+                if target is None:
+                    raise InvalidWorkflowError(
+                        f"step {name!r}: unexpected token {token!r}"
+                    )
+                target.append(token)
+        if not involves:
+            raise InvalidWorkflowError(f"step {name!r}: missing 'involves'")
+        self._step_header = {
+            "name": name,
+            "involves": involves,
+            "creates": creates,
+            "description": description,
+        }
+
+    def _parse_attr(self, line: str) -> None:
+        if self._step_header is None:
+            raise InvalidWorkflowError("'attr' outside a step block")
+        body, description = _split_description(_rest(line, "attr"))
+        name, _, kind_name = body.partition(":")
+        kind_name = kind_name.strip()
+        kind = _KINDS.get(kind_name)
+        if kind is None:
+            raise InvalidWorkflowError(
+                f"unknown attribute kind {kind_name!r}; know {sorted(_KINDS)}"
+            )
+        self._step_attrs.append(
+            AttributeSpec(name.strip(), kind, description)
+        )
+
+    def _parse_transition(self, line: str) -> None:
+        body = _rest(line, "transition")
+        # <from> -> <to> via <step> [fail <p> -> <state> [test <name>]]
+        main, _, failure = body.partition(" fail ")
+        route, _, step_name = main.partition(" via ")
+        from_state, _, to_state = route.partition("->")
+        from_state = from_state.strip()
+        to_state = to_state.strip()
+        step_name = step_name.strip()
+        if not from_state or not to_state or not step_name:
+            raise InvalidWorkflowError(
+                f"transition must be '<from> -> <to> via <step>', got {body!r}"
+            )
+        fail_state = None
+        fail_probability = 0.0
+        test = None
+        if failure:
+            fail_part, _, test_part = failure.partition(" test ")
+            probability_text, _, fail_state_text = fail_part.partition("->")
+            fail_probability = float(probability_text.strip())
+            fail_state = fail_state_text.strip()
+            if not fail_state:
+                raise InvalidWorkflowError("fail clause needs '-> <state>'")
+            if test_part.strip():
+                test = test_part.strip()
+        self.transitions.append(
+            Transition(
+                step=step_name,
+                from_state=from_state,
+                to_state=to_state,
+                fail_state=fail_state,
+                fail_probability=fail_probability,
+                test=test,
+            )
+        )
+
+
+def _rest(line: str, keyword: str) -> str:
+    rest = line[len(keyword):].strip()
+    if not rest:
+        raise InvalidWorkflowError(f"{keyword!r} needs an argument")
+    return rest
+
+
+def _split_description(body: str) -> tuple[str, str]:
+    main, _, description = body.partition("--")
+    return main.strip(), description.strip()
+
+
+def parse_workflow(text: str) -> WorkflowSpec:
+    """Parse DSL text into a (not yet validated) workflow spec."""
+    return _Parser(text).parse()
+
+
+def load_workflow(text: str) -> WorkflowGraph:
+    """Parse and validate: the one-call path from text to graph."""
+    return WorkflowGraph(parse_workflow(text))
+
+
+def render_workflow(spec: WorkflowSpec) -> str:
+    """Render a spec back to DSL text (round-trips through the parser)."""
+    lines = [f"workflow {spec.name}", ""]
+    for material in spec.materials:
+        parts = [f"material {material.class_name}", f"key {material.key_prefix}"]
+        if material.initial_state:
+            parts.append(f"initial {material.initial_state}")
+        if material.parent:
+            parts.append(f"is-a {material.parent}")
+        line = " ".join(parts)
+        if material.description:
+            line += f" -- {material.description}"
+        lines.append(line)
+    lines.append("")
+    for step in spec.steps:
+        line = f"step {step.class_name} involves {', '.join(step.involves_classes)}"
+        if step.creates:
+            line += f" creates {', '.join(step.creates)}"
+        if step.description:
+            line += f" -- {step.description}"
+        lines.append(line)
+        for attribute in step.attributes:
+            attr_line = f"    attr {attribute.name} : {attribute.kind.value}"
+            if attribute.description:
+                attr_line += f" -- {attribute.description}"
+            lines.append(attr_line)
+        lines.append("")
+    for transition in spec.transitions:
+        line = (
+            f"transition {transition.from_state} -> {transition.to_state} "
+            f"via {transition.step}"
+        )
+        if transition.fail_state is not None:
+            line += f" fail {transition.fail_probability} -> {transition.fail_state}"
+            if transition.test:
+                line += f" test {transition.test}"
+        lines.append(line)
+    lines.append("")
+    lines.append(f"terminal {', '.join(spec.terminal_states)}")
+    return "\n".join(lines)

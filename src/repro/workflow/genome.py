@@ -1,0 +1,227 @@
+"""The LabFlow-1 genome-mapping workflow (paper Appendices A and B).
+
+This is the concrete workflow whose graph "forms the basis of the
+workload for the LabFlow-1 benchmark": the Whitehead/MIT Genome Center's
+transposon-facilitated sequencing pipeline.  Materials are **clones**
+(DNA fragments received for mapping), **tclones** (transposon-mapped
+subclones derived from a clone) and **gels** (sequencing gels run for a
+tclone).
+
+The step and state vocabulary (``associate_tclone``,
+``determine_sequence``, ``assemble_sequence``, ``waiting_for_sequencing``,
+``waiting_for_incorporation``, the ``test:sequencing_ok`` transition
+test) is taken directly from the paper's text; attribute lists and the
+exact failure probabilities are reconstructions documented in DESIGN.md.
+
+Two graph devices reproduce the paper's workload shape:
+
+* the **fan-out loop** — ``associate_tclone`` returns the clone to
+  ``waiting_for_tclone`` with probability :data:`MORE_TCLONES_PROBABILITY`,
+  so each clone spawns a geometric number of tclones (mean ~4);
+* the **re-queue edge** — a failed ``test:sequencing_ok`` sends the
+  tclone back to ``waiting_for_gel`` for another gel and read, creating
+  the cycle the paper's Appendix B graph contains.
+"""
+
+from __future__ import annotations
+
+from repro.workflow.graph import WorkflowGraph
+from repro.workflow.spec import (
+    AttributeSpec,
+    MaterialSpec,
+    StepSpec,
+    Transition,
+    ValueKind,
+    WorkflowSpec,
+)
+
+#: Probability that a clone needs another tclone after associate_tclone
+#: (geometric fan-out with mean 1/(1-p) = 4 tclones per clone).
+MORE_TCLONES_PROBABILITY = 0.75
+
+#: Probability that test:sequencing_ok fails and the tclone re-queues.
+SEQUENCING_FAILURE_PROBABILITY = 0.12
+
+# Clone states
+ARRIVED = "arrived"
+WAITING_FOR_TCLONE = "waiting_for_tclone"
+WAITING_FOR_ASSEMBLY = "waiting_for_assembly"
+WAITING_FOR_BLAST = "waiting_for_blast"
+WAITING_FOR_INCORPORATION = "waiting_for_incorporation"
+CLONE_DONE = "clone_done"
+
+# Tclone states
+WAITING_FOR_GEL = "waiting_for_gel"
+WAITING_FOR_SEQUENCING = "waiting_for_sequencing"
+TCLONE_WAITING_FOR_INCORPORATION = "tclone_waiting_for_incorporation"
+TCLONE_DONE = "tclone_done"
+
+# Gel states
+GEL_READY = "gel_ready"
+GEL_DONE = "gel_done"
+
+TERMINAL_STATES = (CLONE_DONE, TCLONE_DONE, GEL_DONE)
+
+
+def build_genome_spec() -> WorkflowSpec:
+    """The declarative spec of the genome-mapping workflow."""
+    materials = [
+        MaterialSpec(
+            class_name="clone",
+            key_prefix="clone",
+            description="DNA fragment received for mapping",
+            initial_state=ARRIVED,
+        ),
+        MaterialSpec(
+            class_name="tclone",
+            key_prefix="tc",
+            description="transposon-mapped subclone of a clone",
+            initial_state=WAITING_FOR_GEL,
+            parent="clone",  # EER is-a: a tclone is a (sub)clone
+        ),
+        MaterialSpec(
+            class_name="gel",
+            key_prefix="gel",
+            description="sequencing gel run for a tclone",
+            initial_state=GEL_READY,
+        ),
+    ]
+
+    steps = [
+        StepSpec(
+            class_name="receive_clone",
+            attributes=(
+                AttributeSpec("source", ValueKind.TEXT, "originating lab"),
+                AttributeSpec("received_date", ValueKind.DATE),
+                AttributeSpec("insert_length", ValueKind.INTEGER, "bases"),
+            ),
+            involves_classes=("clone",),
+            description="log a clone's arrival at the lab",
+        ),
+        StepSpec(
+            class_name="associate_tclone",
+            attributes=(
+                AttributeSpec("position", ValueKind.INTEGER, "transposon insertion point"),
+                AttributeSpec("orientation", ValueKind.TEXT),
+            ),
+            involves_classes=("clone", "tclone"),
+            creates=("tclone",),
+            description="derive a transposon-mapped subclone",
+        ),
+        StepSpec(
+            class_name="prep_gel",
+            attributes=(
+                AttributeSpec("lanes", ValueKind.INTEGER),
+                AttributeSpec("prep_operator", ValueKind.IDENTIFIER),
+            ),
+            involves_classes=("tclone", "gel"),
+            creates=("gel",),
+            description="prepare a sequencing gel for a tclone",
+        ),
+        StepSpec(
+            class_name="read_gel",
+            attributes=(
+                AttributeSpec("lanes_read", ValueKind.INTEGER),
+                AttributeSpec("image_size", ValueKind.INTEGER, "bytes"),
+            ),
+            involves_classes=("gel",),
+            description="digitize a finished gel",
+        ),
+        StepSpec(
+            class_name="determine_sequence",
+            attributes=(
+                AttributeSpec("sequence", ValueKind.DNA),
+                AttributeSpec("quality", ValueKind.FLOAT),
+                AttributeSpec("read_length", ValueKind.INTEGER),
+            ),
+            involves_classes=("tclone",),
+            description="base-call a tclone from its gel",
+        ),
+        StepSpec(
+            class_name="incorporate_tclone",
+            attributes=(
+                AttributeSpec("map_offset", ValueKind.INTEGER),
+            ),
+            involves_classes=("tclone",),
+            description="fold a sequenced tclone into the clone map",
+        ),
+        StepSpec(
+            class_name="assemble_sequence",
+            attributes=(
+                AttributeSpec("contig", ValueKind.DNA),
+                AttributeSpec("coverage", ValueKind.FLOAT),
+            ),
+            involves_classes=("clone",),
+            description="assemble the clone's tclone reads into a contig",
+        ),
+        StepSpec(
+            class_name="blast_search",
+            attributes=(
+                AttributeSpec("hits", ValueKind.HIT_LIST, "homology hits vs GenBank/EMBL"),
+                AttributeSpec("database", ValueKind.TEXT),
+            ),
+            involves_classes=("clone",),
+            description="BLAST homology search; stores the hit list locally",
+        ),
+        StepSpec(
+            class_name="incorporate",
+            attributes=(
+                AttributeSpec("map_position", ValueKind.INTEGER),
+                AttributeSpec("released", ValueKind.INTEGER, "release flag"),
+            ),
+            involves_classes=("clone",),
+            description="incorporate the finished clone into the genome map",
+        ),
+    ]
+
+    transitions = [
+        Transition("receive_clone", ARRIVED, WAITING_FOR_TCLONE),
+        Transition(
+            "associate_tclone",
+            WAITING_FOR_TCLONE,
+            WAITING_FOR_ASSEMBLY,
+            fail_state=WAITING_FOR_TCLONE,
+            fail_probability=MORE_TCLONES_PROBABILITY,
+            test="test:enough_tclones",
+        ),
+        Transition("prep_gel", WAITING_FOR_GEL, WAITING_FOR_SEQUENCING),
+        Transition(
+            "determine_sequence",
+            WAITING_FOR_SEQUENCING,
+            TCLONE_WAITING_FOR_INCORPORATION,
+            fail_state=WAITING_FOR_GEL,
+            fail_probability=SEQUENCING_FAILURE_PROBABILITY,
+            test="test:sequencing_ok",
+        ),
+        Transition(
+            "incorporate_tclone", TCLONE_WAITING_FOR_INCORPORATION, TCLONE_DONE
+        ),
+        Transition("read_gel", GEL_READY, GEL_DONE),
+        Transition("assemble_sequence", WAITING_FOR_ASSEMBLY, WAITING_FOR_BLAST),
+        Transition("blast_search", WAITING_FOR_BLAST, WAITING_FOR_INCORPORATION),
+        Transition("incorporate", WAITING_FOR_INCORPORATION, CLONE_DONE),
+    ]
+
+    return WorkflowSpec(
+        name="labflow-1-genome-mapping",
+        materials=materials,
+        steps=steps,
+        transitions=transitions,
+        terminal_states=TERMINAL_STATES,
+        description="Whitehead/MIT-style transposon-facilitated sequencing",
+    )
+
+
+def build_genome_workflow() -> WorkflowGraph:
+    """The validated Appendix B workflow graph."""
+    return WorkflowGraph(build_genome_spec())
+
+
+#: Attribute list for the schema-evolution experiment (E9): the lab
+#: upgrades its base-caller and determine_sequence gains an attribute.
+EVOLVED_DETERMINE_SEQUENCE_ATTRIBUTES = (
+    "sequence",
+    "quality",
+    "read_length",
+    "basecaller_version",
+)

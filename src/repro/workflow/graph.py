@@ -1,0 +1,211 @@
+"""Workflow graphs.
+
+"Workflow graphs are based on the idea that each material has a workflow
+state, and as the material is processed, it moves from one state to
+another" (Section 2.2).  Nodes are states; edges are steps, possibly
+with failure branches (the re-queue edges of the paper's Appendix B
+graph).  The graph largely determines the DBMS workload, so validation
+here is strict: a malformed graph would silently skew every experiment.
+
+``networkx`` backs the structural checks (reachability, cycles) and the
+layered ASCII rendering the E4 bench emits as its "figure".
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.errors import InvalidWorkflowError
+from repro.workflow.spec import Transition, WorkflowSpec
+
+
+class WorkflowGraph:
+    """A validated workflow graph built from a :class:`WorkflowSpec`."""
+
+    def __init__(self, spec: WorkflowSpec) -> None:
+        self.spec = spec
+        self._graph = nx.MultiDiGraph()
+        self._by_state: dict[str, list[Transition]] = {}
+        self._build()
+        self.validate()
+
+    # -- construction ---------------------------------------------------------
+
+    def _build(self) -> None:
+        for transition in self.spec.transitions:
+            self._graph.add_edge(
+                transition.from_state,
+                transition.to_state,
+                step=transition.step,
+                outcome="ok",
+            )
+            if transition.fail_state is not None:
+                self._graph.add_edge(
+                    transition.from_state,
+                    transition.fail_state,
+                    step=transition.step,
+                    outcome="fail",
+                )
+            self._by_state.setdefault(transition.from_state, []).append(transition)
+        for state in self.spec.terminal_states:
+            self._graph.add_node(state)
+        for material in self.spec.materials:
+            if material.initial_state is not None:
+                self._graph.add_node(material.initial_state)
+
+    # -- validation --------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Raise :class:`InvalidWorkflowError` on any structural defect."""
+        spec = self.spec
+        step_names = {step.class_name for step in spec.steps}
+        material_names = {material.class_name for material in spec.materials}
+
+        if not spec.terminal_states:
+            raise InvalidWorkflowError(f"workflow {spec.name!r}: no terminal states")
+
+        for transition in spec.transitions:
+            if transition.step not in step_names:
+                raise InvalidWorkflowError(
+                    f"transition from {transition.from_state!r} uses unknown "
+                    f"step {transition.step!r}"
+                )
+
+        for step in spec.steps:
+            for class_name in step.involves_classes + step.creates:
+                if class_name not in material_names:
+                    raise InvalidWorkflowError(
+                        f"step {step.class_name!r} references unknown material "
+                        f"class {class_name!r}"
+                    )
+
+        for state in spec.terminal_states:
+            if self._by_state.get(state):
+                raise InvalidWorkflowError(
+                    f"terminal state {state!r} has outgoing transitions"
+                )
+
+        initials = self.initial_states()
+        if not initials:
+            raise InvalidWorkflowError(
+                f"workflow {spec.name!r}: no material has an initial state"
+            )
+
+        reachable: set[str] = set()
+        for initial in initials:
+            reachable.add(initial)
+            reachable |= nx.descendants(self._graph, initial)
+        unreachable = set(self._graph.nodes) - reachable
+        if unreachable:
+            raise InvalidWorkflowError(
+                f"states unreachable from any initial state: {sorted(unreachable)}"
+            )
+
+        terminal_set = set(spec.terminal_states)
+        for state in self._graph.nodes:
+            if state in terminal_set:
+                continue
+            if not any(nx.has_path(self._graph, state, t) for t in terminal_set):
+                raise InvalidWorkflowError(
+                    f"state {state!r} cannot reach any terminal state"
+                )
+
+    # -- queries -----------------------------------------------------------------
+
+    def initial_states(self) -> list[str]:
+        return sorted(
+            {
+                material.initial_state
+                for material in self.spec.materials
+                if material.initial_state is not None
+            }
+        )
+
+    def states(self) -> list[str]:
+        return sorted(self._graph.nodes)
+
+    def transitions_from(self, state: str) -> list[Transition]:
+        return list(self._by_state.get(state, ()))
+
+    def transition_for(self, state: str) -> Transition | None:
+        """The (first) transition out of a state, or None if terminal."""
+        transitions = self._by_state.get(state)
+        return transitions[0] if transitions else None
+
+    def is_terminal(self, state: str) -> bool:
+        return state in self.spec.terminal_states
+
+    def has_cycles(self) -> bool:
+        """Whether re-queue edges create cycles (Appendix B's graph does)."""
+        try:
+            nx.find_cycle(self._graph)
+        except nx.NetworkXNoCycle:
+            return False
+        return True
+
+    def longest_acyclic_path(self) -> int:
+        """Steps on the longest success path (cycle edges removed)."""
+        acyclic = nx.MultiDiGraph(
+            (u, v, data)
+            for u, v, data in self._graph.edges(data=True)
+            if data.get("outcome") == "ok"
+        )
+        if not nx.is_directed_acyclic_graph(acyclic):
+            # success edges alone may still cycle in exotic workflows
+            return -1
+        return nx.dag_longest_path_length(acyclic)
+
+    @property
+    def nx_graph(self) -> nx.MultiDiGraph:
+        return self._graph
+
+    # -- rendering (the E4 "figure") ------------------------------------------------
+
+    def to_dot(self) -> str:
+        """Render the graph in Graphviz DOT (for documentation figures).
+
+        Success edges are solid and labelled with the step; failure
+        edges are dashed and labelled with the probability and test.
+        """
+        lines = [f'digraph "{self.spec.name}" {{', "  rankdir=LR;"]
+        terminal = set(self.spec.terminal_states)
+        initial = set(self.initial_states())
+        for state in self.states():
+            shape = "doublecircle" if state in terminal else (
+                "box" if state in initial else "ellipse"
+            )
+            lines.append(f'  "{state}" [shape={shape}];')
+        for transition in self.spec.transitions:
+            lines.append(
+                f'  "{transition.from_state}" -> "{transition.to_state}" '
+                f'[label="{transition.step}"];'
+            )
+            if transition.fail_state is not None:
+                label = f"{transition.fail_probability:.0%}"
+                if transition.test:
+                    label += f"\\n{transition.test} fails"
+                lines.append(
+                    f'  "{transition.from_state}" -> "{transition.fail_state}" '
+                    f'[label="{label}", style=dashed];'
+                )
+        lines.append("}")
+        return "\n".join(lines)
+
+    def to_text(self) -> str:
+        """Render the graph as indented text, one transition per line."""
+        lines = [f"workflow {self.spec.name!r}"]
+        lines.append(f"  initial states : {', '.join(self.initial_states())}")
+        lines.append(f"  terminal states: {', '.join(self.spec.terminal_states)}")
+        lines.append("  transitions:")
+        for transition in self.spec.transitions:
+            arrow = f"{transition.from_state} --[{transition.step}]--> {transition.to_state}"
+            if transition.fail_state is not None:
+                arrow += (
+                    f"  (fail {transition.fail_probability:.0%} -> "
+                    f"{transition.fail_state}"
+                )
+                if transition.test:
+                    arrow += f", test {transition.test}"
+                arrow += ")"
+            lines.append(f"    {arrow}")
+        return "\n".join(lines)

@@ -1,0 +1,126 @@
+"""Declarative workflow specifications.
+
+A workflow is specified by three kinds of objects, mirroring the paper's
+Section 2.2 split between workflow *modelling* (the graph) and workflow
+*tracking* (what LabBase records):
+
+* :class:`MaterialSpec` — a material class and its key prefix;
+* :class:`StepSpec` — a step class: the attributes it produces (each
+  tagged with a :class:`ValueKind` so workload generators can synthesize
+  realistic values), the material classes it involves, and any new
+  materials it creates (e.g. ``associate_tclone`` creates a tclone from
+  a clone);
+* :class:`Transition` — an edge of the workflow graph: materials in
+  ``from_state`` undergo ``step`` and move to ``to_state``, or to
+  ``fail_state`` with probability ``fail_probability`` (the paper's
+  transition tests, like ``test:sequencing_ok``, decide which).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.errors import InvalidWorkflowError
+
+
+class ValueKind(Enum):
+    """What kind of value an attribute carries (drives generation)."""
+
+    IDENTIFIER = "identifier"   # short lab identifier
+    DNA = "dna"                 # DNA sequence, hundreds of bases
+    INTEGER = "integer"
+    FLOAT = "float"
+    TEXT = "text"               # short free text
+    DATE = "date"               # integer day stamp
+    HIT_LIST = "hit_list"       # list of BLAST homology hits (large!)
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """One attribute a step class produces."""
+
+    name: str
+    kind: ValueKind
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class MaterialSpec:
+    """A material class in the workflow."""
+
+    class_name: str
+    key_prefix: str
+    description: str = ""
+    parent: str | None = None
+    initial_state: str | None = None  # state assigned at creation
+
+
+@dataclass(frozen=True)
+class StepSpec:
+    """A step class: what it involves, produces and creates."""
+
+    class_name: str
+    attributes: tuple[AttributeSpec, ...]
+    involves_classes: tuple[str, ...]
+    creates: tuple[str, ...] = ()  # material classes instantiated by the step
+    description: str = ""
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        return tuple(attr.name for attr in self.attributes)
+
+    def attribute(self, name: str) -> AttributeSpec:
+        for attr in self.attributes:
+            if attr.name == name:
+                return attr
+        raise InvalidWorkflowError(
+            f"step {self.class_name!r} has no attribute {name!r}"
+        )
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One workflow-graph edge."""
+
+    step: str                      # StepSpec.class_name
+    from_state: str
+    to_state: str
+    fail_state: str | None = None
+    fail_probability: float = 0.0
+    test: str | None = None        # name of the transition test (informational)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fail_probability <= 1.0:
+            raise InvalidWorkflowError(
+                f"transition {self.step!r}: fail probability "
+                f"{self.fail_probability} outside [0, 1]"
+            )
+        if self.fail_probability > 0.0 and self.fail_state is None:
+            raise InvalidWorkflowError(
+                f"transition {self.step!r}: fail probability without fail state"
+            )
+
+
+@dataclass
+class WorkflowSpec:
+    """The full declarative bundle a :class:`WorkflowGraph` is built from."""
+
+    name: str
+    materials: list[MaterialSpec] = field(default_factory=list)
+    steps: list[StepSpec] = field(default_factory=list)
+    transitions: list[Transition] = field(default_factory=list)
+    terminal_states: tuple[str, ...] = ()
+    description: str = ""
+
+    def material(self, class_name: str) -> MaterialSpec:
+        for spec in self.materials:
+            if spec.class_name == class_name:
+                return spec
+        raise InvalidWorkflowError(f"no material spec {class_name!r}")
+
+    def step(self, class_name: str) -> StepSpec:
+        for spec in self.steps:
+            if spec.class_name == class_name:
+                return spec
+        raise InvalidWorkflowError(f"no step spec {class_name!r}")

@@ -1,0 +1,105 @@
+"""Tests for Architecture (A) and the wrapper contract."""
+
+import pytest
+
+from repro.arch import DirectServer, is_benchmark_complete
+from repro.errors import (
+    DuplicateKeyError,
+    UnknownAttributeError,
+    UnknownClassError,
+    UnknownMaterialError,
+)
+from repro.labbase import LabBase
+from repro.storage import OStoreMM
+
+
+@pytest.fixture
+def direct():
+    server = DirectServer(OStoreMM())
+    server.define_material_class("clone")
+    server.define_step_class("s", ["quality", "sequence"])
+    return server
+
+
+def test_direct_satisfies_wrapper_contract(direct):
+    assert is_benchmark_complete(direct)
+
+
+def test_labbase_satisfies_wrapper_contract():
+    assert is_benchmark_complete(LabBase(OStoreMM()))
+
+
+def test_crud_and_queries(direct):
+    oid = direct.create_material("clone", "c-1", 1, state="arrived")
+    assert direct.lookup("clone", "c-1") == oid
+    direct.record_step("s", 10, [oid], {"quality": 0.5})
+    direct.record_step("s", 20, [oid], {"quality": 0.9})
+    direct.record_step("s", 15, [oid], {"quality": 0.7})
+    assert direct.most_recent(oid, "quality") == 0.9
+    assert direct.in_state("arrived") == [oid]
+    assert direct.count_materials("clone") == 1
+    assert direct.count_steps("s") == 3
+    history = direct.material_history(oid)
+    assert [step["valid_time"] for _oid, step in history] == [20, 15, 10]
+
+
+def test_error_cases(direct):
+    with pytest.raises(UnknownClassError):
+        direct.create_material("plasmid", "p", 1)
+    with pytest.raises(UnknownClassError):
+        direct.record_step("nope", 1, [])
+    oid = direct.create_material("clone", "c-1", 1)
+    with pytest.raises(DuplicateKeyError):
+        direct.create_material("clone", "c-1", 2)
+    with pytest.raises(UnknownMaterialError):
+        direct.lookup("clone", "missing")
+    with pytest.raises(UnknownAttributeError):
+        direct.most_recent(oid, "quality")
+
+
+def test_report(direct):
+    oid = direct.create_material("clone", "c-1", 1, state="arrived")
+    direct.record_step("s", 2, [oid], {"quality": 1.0})
+    rows = direct.report([oid], ["quality", "sequence"])
+    assert rows[0]["quality"] == 1.0 and rows[0]["sequence"] is None
+
+
+def test_direct_and_labbase_agree_on_results():
+    """Same operations, same answers — different mechanics only."""
+    operations = [
+        ("create", "c-1"), ("step", "c-1", 10, 0.1),
+        ("create", "c-2"), ("step", "c-2", 30, 0.3),
+        ("step", "c-1", 20, 0.2), ("step", "c-1", 5, 0.05),
+    ]
+
+    direct = DirectServer(OStoreMM())
+    direct.define_material_class("clone")
+    direct.define_step_class("s", ["quality"])
+    labbase = LabBase(OStoreMM())
+    labbase.define_material_class("clone")
+    labbase.define_step_class("s", ["quality"], ["clone"])
+
+    for op in operations:
+        if op[0] == "create":
+            direct.create_material("clone", op[1], 0, state="active")
+            labbase.create_material("clone", op[1], 0, state="active")
+        else:
+            _kind, key, valid_time, quality = op
+            direct.record_step("s", valid_time, [direct.lookup("clone", key)],
+                               {"quality": quality})
+            labbase.record_step("s", valid_time, [labbase.lookup("clone", key)],
+                                {"quality": quality})
+
+    for key in ("c-1", "c-2"):
+        assert direct.most_recent(direct.lookup("clone", key), "quality") == \
+            labbase.most_recent(labbase.lookup("clone", key), "quality")
+    assert len(direct.in_state("active")) == len(labbase.in_state("active"))
+    assert direct.count_steps("s") == labbase.count_steps("s")
+
+
+def test_transactions_delegate(direct):
+    direct.begin()
+    direct.create_material("clone", "tx", 1)
+    direct.abort()
+    with pytest.raises(UnknownMaterialError):
+        direct.lookup("clone", "tx")

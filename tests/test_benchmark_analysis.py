@@ -1,0 +1,44 @@
+"""Tests for the executable shape checks."""
+
+import pytest
+
+from repro.benchmark import TINY, run_comparison
+from repro.benchmark.analysis import check_shapes, failed_checks, render_checks
+
+
+@pytest.fixture(scope="module")
+def comparison(tmp_path_factory):
+    config = TINY.with_(
+        db_dir=str(tmp_path_factory.mktemp("shape_dbs")),
+        clones_per_interval=8,
+    )
+    return run_comparison(config)
+
+
+def test_every_claim_holds_on_a_real_run(comparison):
+    checks = check_shapes(comparison)
+    assert checks, "no checks ran"
+    failures = failed_checks(checks)
+    assert not failures, render_checks(failures)
+
+
+def test_claim_coverage(comparison):
+    """All seven claim families are evaluated."""
+    ids = {check.claim_id for check in check_shapes(comparison)}
+    assert ids == {"S1", "S2", "S3", "S4", "S5", "S6", "S7"}
+
+
+def test_render_is_readable(comparison):
+    text = render_checks(check_shapes(comparison))
+    assert "[PASS]" in text
+    assert "S2" in text and "1.4" in text or "x" in text
+
+
+def test_subset_comparison_skips_inapplicable_claims(tmp_path):
+    config = TINY.with_(db_dir=str(tmp_path))
+    partial = run_comparison(config, servers=("OStore-mm", "Texas-mm"))
+    checks = check_shapes(partial)
+    ids = {check.claim_id for check in checks}
+    assert "S2" not in ids  # no persistent versions to compare
+    assert "S4" in ids
+    assert not failed_checks(checks)

@@ -1,0 +1,57 @@
+"""Unit tests for the synthetic BLAST hit generator."""
+
+from repro.benchmark import blast
+from repro.util.rng import DeterministicRng
+
+
+def test_hit_fields_are_blast_shaped():
+    rng = DeterministicRng(1)
+    hit = blast.generate_hit(rng, query_length=400)
+    assert set(hit) == {
+        "accession", "database", "score", "expect",
+        "align_start", "align_length", "identity",
+    }
+    assert hit["database"] in blast.DATABASES
+    assert 0 < hit["align_length"] <= 400
+    assert hit["align_start"] >= 1
+    assert 0.5 <= hit["identity"] <= 1.0
+    assert hit["expect"] >= 0
+
+
+def test_hit_list_sorted_by_score():
+    rng = DeterministicRng(2)
+    hits = blast.generate_hit_list(rng, mean_hits=30, max_hits=100)
+    scores = [hit["score"] for hit in hits]
+    assert scores == sorted(scores, reverse=True)
+
+
+def test_hit_count_bounds():
+    rng = DeterministicRng(3)
+    for _ in range(200):
+        count = blast.hit_count(rng, mean=20, maximum=50)
+        assert 0 <= count <= 50
+    assert blast.hit_count(rng, mean=0, maximum=50) == 0
+
+
+def test_hit_count_is_heavy_tailed():
+    rng = DeterministicRng(4)
+    counts = [blast.hit_count(rng, mean=20, maximum=1000) for _ in range(500)]
+    mean = sum(counts) / len(counts)
+    assert max(counts) > mean * 3, "expect a fat right tail"
+
+
+def test_deterministic_given_seed():
+    a = blast.generate_hit_list(DeterministicRng(7), mean_hits=10)
+    b = blast.generate_hit_list(DeterministicRng(7), mean_hits=10)
+    assert a == b
+
+
+def test_summarize():
+    assert blast.summarize([]) == {
+        "n_hits": 0, "best_score": None, "best_accession": None,
+    }
+    hits = blast.generate_hit_list(DeterministicRng(9), mean_hits=15)
+    if hits:
+        summary = blast.summarize(hits)
+        assert summary["n_hits"] == len(hits)
+        assert summary["best_score"] == hits[0]["score"]

@@ -1,0 +1,53 @@
+"""Tests for text figures."""
+
+import pytest
+
+from repro.benchmark import TINY, run_comparison
+from repro.benchmark.figures import ascii_chart, growth_chart, interval_series_chart
+
+
+def test_ascii_chart_scales_to_peak():
+    text = ascii_chart(
+        "t", ["a", "b"], {"s": [10.0, 5.0]}, width=20
+    )
+    lines = text.splitlines()
+    assert lines[0] == "t"
+    bar_a = lines[2].split("|")[1].count("#")
+    bar_b = lines[3].split("|")[1].count("#")
+    assert bar_a == 20 and bar_b == 10
+
+
+def test_ascii_chart_zero_and_shared_scale():
+    text = ascii_chart("t", ["x"], {"zero": [0.0], "one": [4.0]}, width=8)
+    zero_line = [l for l in text.splitlines() if l.strip().startswith("x |")][0]
+    assert "#" not in zero_line
+
+
+def test_ascii_chart_rejects_ragged_series():
+    with pytest.raises(ValueError, match="values for"):
+        ascii_chart("t", ["a", "b"], {"s": [1.0]})
+
+
+def test_ascii_chart_empty_series():
+    assert ascii_chart("only title", [], {}) == "only title"
+
+
+@pytest.fixture(scope="module")
+def comparison(tmp_path_factory):
+    config = TINY.with_(db_dir=str(tmp_path_factory.mktemp("fig")))
+    return run_comparison(config, servers=("OStore", "Texas", "Texas-mm"))
+
+
+def test_interval_series_chart(comparison):
+    text = interval_series_chart(comparison, "elapsed_sec")
+    for label in TINY.interval_labels:
+        assert label in text
+    for server in ("OStore", "Texas", "Texas-mm"):
+        assert server in text
+
+
+def test_growth_chart_excludes_memory_versions(comparison):
+    text = growth_chart(comparison)
+    assert "OStore" in text and "Texas" in text
+    assert "Texas-mm" not in text  # no database file, no growth series
+    assert "KiB" in text

@@ -1,0 +1,26 @@
+"""Tests for the EER figure rendering (E3)."""
+
+from repro.benchmark.schema_report import eer_text, schema_statistics
+from repro.workflow.genome import build_genome_spec
+
+
+def test_eer_text_has_both_levels():
+    text = eer_text(build_genome_spec())
+    assert "material" in text and "step" in text and "involves" in text
+    assert "is-a" in text  # the dashed lower level
+    for name in ("clone", "tclone", "gel"):
+        assert name in text
+    for step in ("associate_tclone", "determine_sequence", "blast_search"):
+        assert step in text
+    assert "hit_list" in text  # attribute kinds shown
+
+
+def test_schema_statistics_pin_the_figure():
+    stats = schema_statistics(build_genome_spec())
+    assert stats == {
+        "material_classes": 3,
+        "step_classes": 9,
+        "attributes": 19,
+        "transitions": 9,
+        "terminal_states": 3,
+    }

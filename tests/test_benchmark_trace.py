@@ -1,0 +1,127 @@
+"""Tests for workload trace recording and replay."""
+
+import io
+
+import pytest
+
+from repro.benchmark import TINY, LabFlowWorkload
+from repro.benchmark.trace import Trace, TracingServer, replay
+from repro.errors import BenchmarkError
+from repro.labbase import LabBase, LabClock
+from repro.storage import ObjectStoreSM, OStoreMM
+
+
+def _traced_lab():
+    db = LabBase(OStoreMM())
+    server = TracingServer(db)
+    clock = LabClock()
+    server.define_material_class("clone")
+    server.define_step_class("s", ["a", "b"], ["clone"])
+    oid = server.create_material("clone", "c-1", clock.tick(), state="active")
+    server.record_step("s", clock.tick(), [oid], {"a": 1})
+    server.set_state(oid, "done", clock.tick())
+    return db, server, clock
+
+
+def test_recording_captures_logical_operations():
+    _db, server, _clock = _traced_lab()
+    counts = server.trace.operations()
+    assert counts == {
+        "define_material_class": 1,
+        "define_step_class": 1,
+        "create_material": 1,
+        "record_step": 1,
+        "set_state": 1,
+    }
+    step_event = [e for e in server.trace.events if e["op"] == "record_step"][0]
+    assert step_event["involves"] == [["clone", "c-1"]]  # names, not oids
+
+
+def test_replay_reproduces_the_database():
+    _db, server, _clock = _traced_lab()
+    target = LabBase(OStoreMM())
+    counts = replay(server.trace, target)
+    assert counts["record_step"] == 1
+    oid = target.lookup("clone", "c-1")
+    assert target.most_recent(oid, "a") == 1
+    assert target.state_of(oid) == "done"
+
+
+def test_dump_load_round_trip():
+    _db, server, _clock = _traced_lab()
+    buffer = io.StringIO()
+    server.trace.dump(buffer)
+    buffer.seek(0)
+    loaded = Trace.load(buffer)
+    assert loaded.events == server.trace.events
+
+
+def test_load_rejects_garbage():
+    with pytest.raises(BenchmarkError, match="line 1"):
+        Trace.load(io.StringIO("not json\n"))
+
+
+def test_replay_rejects_unknown_op():
+    trace = Trace()
+    trace.append("explode")
+    with pytest.raises(BenchmarkError, match="unknown trace op"):
+        replay(trace, LabBase(OStoreMM()))
+
+
+def test_tracing_unknown_oid_rejected():
+    db = LabBase(OStoreMM())
+    server = TracingServer(db)
+    server.define_material_class("clone")
+    server.define_step_class("s", ["a"], ["clone"])
+    # material created *behind the proxy's back*
+    oid = db.create_material("clone", "sneaky", 1)
+    with pytest.raises(BenchmarkError, match="not created through"):
+        server.record_step("s", 2, [oid], {"a": 1})
+
+
+def test_versioned_steps_replay_by_attribute_set():
+    db = LabBase(OStoreMM())
+    server = TracingServer(db)
+    clock = LabClock()
+    server.define_material_class("clone")
+    old = server.define_step_class("s", ["a"], ["clone"])
+    server.define_step_class("s", ["a", "b"], ["clone"])  # evolve
+    oid = server.create_material("clone", "c-1", clock.tick())
+    server.record_step("s", clock.tick(), [oid], {"a": 1},
+                       version_id=old.version_id)
+
+    target = LabBase(OStoreMM())
+    replay(server.trace, target)
+    target_oid = target.lookup("clone", "c-1")
+    step = target.material_history(target_oid)[0][1]
+    version = target.catalog.step_version(step["class_version"])
+    assert version.attribute_set == frozenset({"a"})
+
+
+def test_full_workload_records_and_replays_identically(tmp_path):
+    """Record the TINY stream; replay onto a page store; same database."""
+    source_db = LabBase(OStoreMM())
+    traced = TracingServer(source_db)
+    workload = LabFlowWorkload(traced, TINY)
+    workload.run_all()
+    assert len(traced.trace) > 100
+
+    # round-trip the trace through a file, like a shipped benchmark trace
+    path = tmp_path / "stream.trace"
+    with open(path, "w") as fp:
+        traced.trace.dump(fp)
+    with open(path) as fp:
+        loaded = Trace.load(fp)
+
+    target_db = LabBase(ObjectStoreSM(buffer_pages=64))
+    replay(loaded, target_db)
+
+    assert target_db.catalog.material_counts == source_db.catalog.material_counts
+    assert target_db.catalog.step_counts == source_db.catalog.step_counts
+    assert target_db.sets.state_census() == source_db.sets.state_census()
+    for oid, record in source_db.iter_materials():
+        target_oid = target_db.lookup(record["class_name"], record["key"])
+        assert (
+            target_db.current_attributes(target_oid)
+            == source_db.current_attributes(oid)
+        ), record["key"]

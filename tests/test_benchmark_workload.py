@@ -1,0 +1,107 @@
+"""Tests for the LabFlow-1 stream generator."""
+
+import pytest
+
+from repro.benchmark.config import TINY, BenchmarkConfig
+from repro.benchmark.workload import LabFlowWorkload, benchmark_value_factory
+from repro.labbase import LabBase
+from repro.storage import OStoreMM, ObjectStoreSM
+from repro.util.rng import DeterministicRng
+from repro.workflow.spec import AttributeSpec, StepSpec, ValueKind
+
+
+def _workload(config=TINY, sm=None):
+    db = LabBase(sm or OStoreMM())
+    return db, LabFlowWorkload(db, config)
+
+
+def test_run_interval_creates_configured_clones():
+    db, workload = _workload()
+    workload.setup_schema()
+    tally = workload.run_interval("0.5X")
+    assert tally.clones_created == TINY.clones_per_interval
+    assert tally.steps_executed > 0
+    assert tally.queries_executed == TINY.clones_per_interval * TINY.queries_per_intake
+    assert db.count_materials("clone", include_subclasses=False) == TINY.clones_per_interval
+
+
+def test_run_all_covers_every_interval():
+    _db, workload = _workload()
+    tallies = workload.run_all()
+    assert [t.label for t in tallies] == list(TINY.interval_labels)
+
+
+def test_operation_tally_shape():
+    _db, workload = _workload()
+    tallies = workload.run_all()
+    ops = set()
+    for tally in tallies:
+        ops.update(tally.operations.counts)
+    assert "U1" in ops and "U2" in ops and "U3" in ops
+    assert any(op.startswith("Q") for op in ops)
+
+
+def test_integrity_counters_match_scans():
+    _db, workload = _workload()
+    workload.run_all()
+    counts = workload.check_integrity()
+    assert counts["materials"] > 0 and counts["steps"] > 0
+
+
+def test_same_seed_same_stream_across_stores():
+    """The cross-server guarantee: identical logical databases."""
+    db_a, workload_a = _workload(sm=OStoreMM())
+    db_b, workload_b = _workload(sm=ObjectStoreSM(buffer_pages=32))
+    workload_a.run_all()
+    workload_b.run_all()
+    assert db_a.catalog.material_counts == db_b.catalog.material_counts
+    assert db_a.catalog.step_counts == db_b.catalog.step_counts
+    assert db_a.sets.state_census() == db_b.sets.state_census()
+    # spot-check a material's attributes end to end
+    oid_a = db_a.lookup("clone", "clone-000001")
+    oid_b = db_b.lookup("clone", "clone-000001")
+    assert db_a.current_attributes(oid_a) == db_b.current_attributes(oid_b)
+
+
+def test_different_seed_different_stream():
+    db_a, workload_a = _workload(TINY.with_(seed=1))
+    db_b, workload_b = _workload(TINY.with_(seed=2))
+    workload_a.run_all()
+    workload_b.run_all()
+    attrs_a = db_a.current_attributes(db_a.lookup("clone", "clone-000001"))
+    attrs_b = db_b.current_attributes(db_b.lookup("clone", "clone-000001"))
+    assert attrs_a != attrs_b
+
+
+def test_drain_quiesces_workflow():
+    db, workload = _workload()
+    workload.run_all()
+    workload.drain()
+    graph = workload.graph
+    for state in graph.states():
+        if not graph.is_terminal(state):
+            assert db.in_state(state) == []
+
+
+def test_benchmark_value_factory_sizes_hit_lists():
+    config = BenchmarkConfig(blast_mean_hits=30, blast_max_hits=40)
+    factory = benchmark_value_factory(config)
+    step = StepSpec("blast_search", (), ("clone",))
+    attribute = AttributeSpec("hits", ValueKind.HIT_LIST)
+    rng = DeterministicRng(3)
+    lists = [factory(step, attribute, "c-1", rng) for _ in range(50)]
+    assert all(len(hits) <= 40 for hits in lists)
+    assert any(len(hits) > 10 for hits in lists)
+
+
+def test_registry_tracks_created_materials():
+    _db, workload = _workload()
+    workload.run_all()
+    assert workload.registry.count() >= workload.tallies[0].clones_created
+    assert "tclone" in workload.registry.by_class
+
+
+def test_dql_query_path_runs():
+    _db, workload = _workload(TINY.with_(query_path="dql", queries_per_intake=1))
+    tallies = workload.run_all()
+    assert all(t.queries_executed > 0 for t in tallies)

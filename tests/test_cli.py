@@ -1,0 +1,144 @@
+"""Tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+def test_graph_prints_genome_workflow(capsys):
+    assert main(["graph"]) == 0
+    out = capsys.readouterr().out
+    assert "labflow-1-genome-mapping" in out
+    assert "determine_sequence" in out
+
+
+def test_eer_prints_figure(capsys):
+    assert main(["eer"]) == 0
+    out = capsys.readouterr().out
+    assert "involves" in out and "is-a" in out
+
+
+def test_graph_from_dsl_file(tmp_path, capsys):
+    workflow_file = tmp_path / "wf.txt"
+    workflow_file.write_text("""
+workflow custom
+material m key m initial s
+step go involves m
+    attr x : integer
+transition s -> t via go
+terminal t
+""")
+    assert main(["graph", "--workflow", str(workflow_file)]) == 0
+    out = capsys.readouterr().out
+    assert "custom" in out and "s --[go]--> t" in out
+
+
+def test_demo_persists_database(tmp_path, capsys):
+    db_path = os.path.join(tmp_path, "demo.db")
+    assert main(["demo", "--clones", "3", "--db", db_path]) == 0
+    out = capsys.readouterr().out
+    assert "workflow steps executed" in out
+    assert os.path.exists(db_path)
+
+
+def test_query_against_persisted_db(tmp_path, capsys):
+    db_path = os.path.join(tmp_path, "demo.db")
+    main(["demo", "--clones", "3", "--db", db_path])
+    capsys.readouterr()
+    assert main(["query", db_path, "class_count(clone, N)."]) == 0
+    out = capsys.readouterr().out
+    assert "N = " in out
+
+
+def test_query_no_solutions_prints_no(tmp_path, capsys):
+    db_path = os.path.join(tmp_path, "demo.db")
+    main(["demo", "--clones", "2", "--db", db_path])
+    capsys.readouterr()
+    assert main(["query", db_path, "state(M, never_used_state)."]) == 0
+    assert "no" in capsys.readouterr().out
+
+
+def test_query_limit(tmp_path, capsys):
+    db_path = os.path.join(tmp_path, "demo.db")
+    main(["demo", "--clones", "4", "--db", db_path])
+    capsys.readouterr()
+    assert main(["query", db_path, "material(C, K, M).", "--limit", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "stopped at 2" in out
+
+
+def test_query_error_reported(tmp_path, capsys):
+    db_path = os.path.join(tmp_path, "demo.db")
+    main(["demo", "--clones", "2", "--db", db_path])
+    capsys.readouterr()
+    assert main(["query", db_path, "no_such_predicate(X)."]) == 0
+    assert "error" in capsys.readouterr().err
+
+
+def test_run_single_server(capsys, tmp_path):
+    assert main(["run", "--server", "OStore-mm", "--clones", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "OStore-mm" in out and "elapsed sec" in out
+
+
+def test_compare_subset(capsys, tmp_path):
+    assert main([
+        "compare", "--clones", "3", "--db-dir", str(tmp_path),
+        "--servers", "OStore", "Texas-mm",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Database Server Version" in out
+    assert "OStore" in out and "Texas-mm" in out
+    assert "Texas+TC" not in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_record_and_replay_round_trip(tmp_path, capsys):
+    trace_path = os.path.join(tmp_path, "stream.trace")
+    assert main(["record", trace_path, "--clones", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "recorded" in out and os.path.exists(trace_path)
+    assert main([
+        "replay", trace_path, "--server", "OStore",
+        "--db-dir", os.path.join(tmp_path, "dbs"),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "replayed" in out and "size (bytes)" in out
+
+
+def test_replay_onto_memory_server(tmp_path, capsys):
+    trace_path = os.path.join(tmp_path, "stream.trace")
+    main(["record", trace_path, "--clones", "2"])
+    capsys.readouterr()
+    assert main(["replay", trace_path, "--server", "Texas-mm"]) == 0
+    assert "Texas-mm" in capsys.readouterr().out
+
+
+def test_shell_runs_queries_and_quits(tmp_path, capsys, monkeypatch):
+    db_path = os.path.join(tmp_path, "demo.db")
+    main(["demo", "--clones", "2", "--db", db_path])
+    capsys.readouterr()
+    lines = iter(["class_count(clone, N).", "", "bad syntax here", "quit."])
+    monkeypatch.setattr("builtins.input", lambda prompt="": next(lines))
+    assert main(["shell", db_path]) == 0
+    captured = capsys.readouterr()
+    assert "N = " in captured.out
+    assert "error" in captured.err  # the bad query reported, shell kept going
+
+
+def test_shell_handles_eof(tmp_path, capsys, monkeypatch):
+    db_path = os.path.join(tmp_path, "demo.db")
+    main(["demo", "--clones", "2", "--db", db_path])
+    capsys.readouterr()
+
+    def raise_eof(prompt=""):
+        raise EOFError
+
+    monkeypatch.setattr("builtins.input", raise_eof)
+    assert main(["shell", db_path]) == 0

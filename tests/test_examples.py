@@ -1,0 +1,39 @@
+"""Every shipped example must run clean — they are part of the API.
+
+Each example runs as a subprocess (its own interpreter, like a user
+would run it) with arguments chosen to keep the suite fast.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+#: (script, argv, text that must appear in stdout)
+EXAMPLES = [
+    ("quickstart.py", [], "current quality"),
+    ("genome_lab.py", ["6"], "Finished clones"),
+    ("deductive_queries.py", [], "transition rule"),
+    ("schema_evolution.py", [], "integrity check passed"),
+    ("storage_comparison.py", ["5"], "Database Server Version"),
+    ("process_reengineering.py", [], "rework rate"),
+    ("multi_user_lab.py", [], "second user refused"),
+]
+
+
+@pytest.mark.parametrize(
+    "script,argv,expected", EXAMPLES, ids=[e[0] for e in EXAMPLES]
+)
+def test_example_runs_clean(script, argv, expected):
+    path = os.path.join(EXAMPLES_DIR, script)
+    result = subprocess.run(
+        [sys.executable, path, *argv],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert expected in result.stdout, result.stdout[-2000:]

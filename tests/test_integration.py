@@ -1,0 +1,145 @@
+"""Cross-module integration tests.
+
+These exercise full paths the unit tests cannot: reopen-after-run
+persistence, cold-cache locality differences (the paper's headline),
+the DQL-vs-API equivalence on a real workload database, and index
+ablation equivalence.
+"""
+
+import os
+
+import pytest
+
+from repro.benchmark import TINY, LabFlowWorkload
+from repro.labbase import LabBase
+from repro.query import Program
+from repro.storage import ObjectStoreSM, OStoreMM, TexasSM
+
+
+def test_full_run_persists_and_reopens(tmp_path):
+    path = os.path.join(tmp_path, "lab.db")
+    sm = ObjectStoreSM(path=path, buffer_pages=64)
+    db = LabBase(sm)
+    workload = LabFlowWorkload(db, TINY)
+    workload.run_all()
+    census = db.sets.state_census()
+    material_counts = dict(db.catalog.material_counts)
+    clone_oid = db.lookup("clone", "clone-000001")
+    clone_attrs = db.current_attributes(clone_oid)
+    sm.close()
+
+    sm2 = ObjectStoreSM(path=path, buffer_pages=64)
+    db2 = LabBase(sm2)
+    assert db2.sets.state_census() == census
+    assert db2.catalog.material_counts == material_counts
+    assert db2.current_attributes(db2.lookup("clone", "clone-000001")) == clone_attrs
+    # and it keeps working: record more steps after reopen
+    version = db2.catalog.step_class("receive_clone").current
+    db2.record_step("receive_clone", 10_000, [clone_oid],
+                    {"source": "reopened"}, version_id=version.version_id)
+    assert db2.most_recent(clone_oid, "source") == "reopened"
+    sm2.close()
+
+
+def test_cold_cache_locality_ostore_beats_texas(tmp_path):
+    """The paper's headline: clustering control cuts faults on the
+    hot-data query mix."""
+    faults = {}
+    for cls, name in ((ObjectStoreSM, "ostore"), (TexasSM, "texas")):
+        sm = cls(path=os.path.join(tmp_path, f"{name}.db"), buffer_pages=24)
+        db = LabBase(sm)
+        workload = LabFlowWorkload(db, TINY.with_(clones_per_interval=12))
+        workload.run_all()
+        sm.drop_buffer()
+        before = sm.stats.major_faults
+        # hot-data queries only: key lookups + state sets + most-recent
+        for key, oid in workload.registry.by_class["clone"]:
+            db.lookup("clone", key)
+            db.state_of(oid)
+        for state in ("clone_done", "waiting_for_assembly"):
+            db.in_state(state)
+        faults[name] = sm.stats.major_faults - before
+        sm.close()
+    assert faults["ostore"] < faults["texas"], faults
+
+
+def test_dql_sees_exactly_the_api_database():
+    db = LabBase(OStoreMM())
+    workload = LabFlowWorkload(db, TINY)
+    workload.run_all()
+    program = Program(db=db)
+
+    # counts agree
+    for class_name in ("clone", "tclone", "gel"):
+        row = program.first(f"class_count({class_name}, N).")
+        assert row["N"] == db.count_materials(class_name)
+
+    # state sets agree
+    for state, population in db.sets.state_census().items():
+        solutions = program.solutions(f"state(M, {state}).")
+        assert len(solutions) == population
+
+    # per-material attribute values agree
+    oid = db.lookup("clone", "clone-000001")
+    for attribute, value in db.current_attributes(oid).items():
+        row = program.first(f"value_of({oid}, {attribute}, V).")
+        assert row is not None and row["V"] == value
+
+
+def test_index_ablation_same_answers_different_cost():
+    """use_most_recent_index=False must not change any answer."""
+    results = {}
+    for use_index in (True, False):
+        db = LabBase(OStoreMM(), use_most_recent_index=use_index)
+        workload = LabFlowWorkload(db, TINY)
+        workload.run_all()
+        snapshot = {}
+        for _key, oid in workload.registry.by_class["clone"]:
+            snapshot[db.material(oid)["key"]] = db.current_attributes(oid)
+        results[use_index] = (snapshot, db.storage.stats.objects_read)
+    answers_indexed, reads_indexed = results[True]
+    answers_scan, reads_scan = results[False]
+    assert answers_indexed == answers_scan
+    assert reads_scan > reads_indexed  # scans are strictly more work
+
+
+def test_schema_evolution_mid_stream():
+    """E9's behaviour at integration level: evolve during the run."""
+    from repro.workflow.genome import EVOLVED_DETERMINE_SEQUENCE_ATTRIBUTES
+
+    db = LabBase(OStoreMM())
+    workload = LabFlowWorkload(db, TINY)
+    workload.setup_schema()
+    workload.run_interval("0.5X")
+    old_version = db.catalog.step_class("determine_sequence").current
+
+    new_version = db.define_step_class(
+        "determine_sequence",
+        EVOLVED_DETERMINE_SEQUENCE_ATTRIBUTES,
+        ["tclone"],
+    )
+    assert new_version.version_id != old_version.version_id
+
+    workload.run_interval("1.0X")  # stream continues against new schema
+    workload.check_integrity()
+    # both versions hold data
+    assert db.catalog.version_step_counts.get(old_version.version_id, 0) > 0
+    assert db.catalog.version_step_counts.get(new_version.version_id, 0) > 0
+
+
+def test_transaction_abort_mid_workload_leaves_consistent_db():
+    db = LabBase(OStoreMM())
+    workload = LabFlowWorkload(db, TINY)
+    workload.setup_schema()
+    workload.run_interval("0.5X")
+    before = workload.check_integrity()
+
+    db.begin()
+    oid = db.create_material("clone", "doomed", 99_999)
+    db.record_step("receive_clone", 99_999, [oid], {"source": "x"})
+    db.abort()
+
+    after = workload.check_integrity()
+    assert after == before
+    workload.run_interval("1.0X")  # stream continues fine
+    workload.check_integrity()

@@ -1,0 +1,103 @@
+"""Tests for as-of (time-travel) queries over the event history."""
+
+import pytest
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import UnknownAttributeError
+from repro.labbase import LabBase
+from repro.query import Program
+from repro.storage import OStoreMM
+
+
+@pytest.fixture
+def db():
+    database = LabBase(OStoreMM())
+    database.define_material_class("clone")
+    database.define_step_class("s", ["a", "b"], ["clone"])
+    return database
+
+
+def test_value_as_of_picks_latest_at_or_before(db):
+    oid = db.create_material("clone", "c", 0)
+    db.record_step("s", 10, [oid], {"a": "ten"})
+    db.record_step("s", 20, [oid], {"a": "twenty"})
+    db.record_step("s", 30, [oid], {"a": "thirty"})
+    assert db.value_as_of(oid, "a", 10) == "ten"
+    assert db.value_as_of(oid, "a", 15) == "ten"
+    assert db.value_as_of(oid, "a", 20) == "twenty"
+    assert db.value_as_of(oid, "a", 99) == "thirty"
+
+
+def test_value_as_of_before_first_event_raises(db):
+    oid = db.create_material("clone", "c", 0)
+    db.record_step("s", 10, [oid], {"a": 1})
+    with pytest.raises(UnknownAttributeError):
+        db.value_as_of(oid, "a", 9)
+
+
+def test_value_as_of_ignores_out_of_order_entry(db):
+    """A late-entered old result must be visible at its valid time."""
+    oid = db.create_material("clone", "c", 0)
+    db.record_step("s", 30, [oid], {"a": "new"})
+    db.record_step("s", 10, [oid], {"a": "old"})  # entered later!
+    assert db.value_as_of(oid, "a", 15) == "old"
+    assert db.value_as_of(oid, "a", 30) == "new"
+    assert db.most_recent(oid, "a") == "new"
+
+
+def test_attributes_as_of_view(db):
+    oid = db.create_material("clone", "c", 0)
+    db.record_step("s", 10, [oid], {"a": 1})
+    db.record_step("s", 20, [oid], {"b": 2})
+    db.record_step("s", 30, [oid], {"a": 3})
+    assert db.attributes_as_of(oid, 5) == {}
+    assert db.attributes_as_of(oid, 10) == {"a": 1}
+    assert db.attributes_as_of(oid, 25) == {"a": 1, "b": 2}
+    assert db.attributes_as_of(oid, 35) == {"a": 3, "b": 2}
+    # "now" agrees with the current view
+    assert db.attributes_as_of(oid, 10**9) == db.current_attributes(oid)
+
+
+def test_value_as_of_in_dql(db):
+    oid = db.create_material("clone", "c", 0)
+    db.record_step("s", 10, [oid], {"a": 1})
+    db.record_step("s", 20, [oid], {"a": 2})
+    program = Program(db=db)
+    assert program.first(f"value_as_of({oid}, a, 15, V).")["V"] == 1
+    assert program.first(f"value_as_of({oid}, a, 25, V).")["V"] == 2
+    assert not program.ask(f"value_as_of({oid}, a, 5, V).")
+    # check mode
+    assert program.ask(f"value_as_of({oid}, a, 15, 1).")
+    assert not program.ask(f"value_as_of({oid}, a, 15, 2).")
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    stream=st.lists(
+        st.tuples(st.integers(0, 40), st.integers(0, 99)),
+        min_size=1, max_size=20,
+    ),
+    probe=st.integers(0, 45),
+)
+def test_as_of_matches_reference_semantics(stream, probe):
+    """as-of(T) == latest value with valid time <= T, ties to later insert."""
+    db = LabBase(OStoreMM())
+    db.define_material_class("m")
+    db.define_step_class("s", ["a"], ["m"])
+    oid = db.create_material("m", "k", 0)
+    for valid_time, value in stream:
+        db.record_step("s", valid_time, [oid], {"a": value})
+
+    best = None
+    for position, (valid_time, value) in enumerate(stream):
+        if valid_time <= probe and (
+            best is None or (valid_time, position) >= (best[0], best[1])
+        ):
+            best = (valid_time, position, value)
+
+    if best is None:
+        with pytest.raises(UnknownAttributeError):
+            db.value_as_of(oid, "a", probe)
+    else:
+        assert db.value_as_of(oid, "a", probe) == best[2]

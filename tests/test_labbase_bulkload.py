@@ -1,0 +1,179 @@
+"""Tests for the bulk loader: identical semantics, fewer writes."""
+
+import pytest
+
+from repro.errors import DuplicateKeyError, LabBaseError, UnknownClassError
+from repro.labbase import LabBase, LabClock
+from repro.labbase.bulkload import BulkLoader, BulkRef
+from repro.storage import OStoreMM, ObjectStoreSM
+
+
+def _schema(db):
+    db.define_material_class("clone")
+    db.define_step_class("s", ["a", "b"], ["clone"])
+
+
+def test_basic_bulk_load():
+    db = LabBase(OStoreMM())
+    _schema(db)
+    loader = BulkLoader(db)
+    ref = loader.add_material("clone", "c-1", 1, state="arrived")
+    loader.add_step("s", 2, [ref], {"a": 10})
+    loader.add_step("s", 3, [ref], {"a": 20, "b": "x"})
+    oids = loader.flush()
+    oid = oids[ref]
+    assert db.lookup("clone", "c-1") == oid
+    assert db.most_recent(oid, "a") == 20
+    assert db.state_of(oid) == "arrived"
+    assert db.in_state("arrived") == [oid]
+    assert db.history_length(oid) == 2
+    assert db.count_materials("clone") == 1
+    assert db.count_steps("s") == 2
+
+
+def test_bulk_equals_api_record_for_record():
+    """The loader must be observationally identical to API calls."""
+    operations = [
+        ("mat", "c-1", "arrived"), ("mat", "c-2", "arrived"),
+        ("step", ["c-1"], 10, {"a": 1}),
+        ("step", ["c-2", "c-1"], 20, {"b": "shared"}),
+        ("step", ["c-1"], 5, {"a": 0}),     # out-of-order valid time
+        ("mat", "c-3", None),
+        ("step", ["c-3"], 30, {"a": 3, "b": "z"}),
+    ]
+
+    api_db = LabBase(OStoreMM())
+    _schema(api_db)
+    api_oids = {}
+    for op in operations:
+        if op[0] == "mat":
+            api_oids[op[1]] = api_db.create_material("clone", op[1], 1, state=op[2])
+        else:
+            api_db.record_step("s", op[2], [api_oids[k] for k in op[1]], op[3])
+
+    bulk_db = LabBase(OStoreMM())
+    _schema(bulk_db)
+    loader = BulkLoader(bulk_db)
+    refs = {}
+    for op in operations:
+        if op[0] == "mat":
+            refs[op[1]] = loader.add_material("clone", op[1], 1, state=op[2])
+        else:
+            loader.add_step("s", op[2], [refs[k] for k in op[1]], op[3])
+    loader.flush()
+
+    for key in ("c-1", "c-2", "c-3"):
+        api_oid = api_db.lookup("clone", key)
+        bulk_oid = bulk_db.lookup("clone", key)
+        assert api_db.current_attributes(api_oid) == \
+            bulk_db.current_attributes(bulk_oid), key
+        assert api_db.history_length(api_oid) == bulk_db.history_length(bulk_oid)
+        assert api_db.state_of(api_oid) == bulk_db.state_of(bulk_oid)
+        # full history, by valid time
+        api_history = [s["valid_time"] for _o, s in api_db.material_history(api_oid)]
+        bulk_history = [s["valid_time"] for _o, s in bulk_db.material_history(bulk_oid)]
+        assert api_history == bulk_history
+    assert api_db.catalog.material_counts == bulk_db.catalog.material_counts
+    assert api_db.catalog.step_counts == bulk_db.catalog.step_counts
+    assert api_db.sets.state_census() == bulk_db.sets.state_census()
+
+
+def test_bulk_uses_fewer_object_writes():
+    def load(bulk: bool) -> int:
+        db = LabBase(OStoreMM())
+        _schema(db)
+        before = db.storage.stats.objects_written
+        if bulk:
+            loader = BulkLoader(db)
+            refs = [
+                loader.add_material("clone", f"c-{i}", 1, state="arrived")
+                for i in range(50)
+            ]
+            for ref in refs:
+                loader.add_step("s", 2, [ref], {"a": 1})
+            loader.flush()
+        else:
+            for i in range(50):
+                oid = db.create_material("clone", f"c-{i}", 1, state="arrived")
+                db.record_step("s", 2, [oid], {"a": 1})
+        return db.storage.stats.objects_written - before
+
+    assert load(bulk=True) < load(bulk=False) / 1.5
+
+
+def test_bulk_steps_on_existing_materials():
+    db = LabBase(OStoreMM())
+    _schema(db)
+    existing = db.create_material("clone", "old", 1)
+    db.record_step("s", 5, [existing], {"a": "before"})
+    loader = BulkLoader(db)
+    loader.add_step("s", 10, [existing], {"a": "after"})
+    loader.flush()
+    assert db.most_recent(existing, "a") == "after"
+    assert db.history_length(existing) == 2
+
+
+def test_bulk_history_chunks_chain_correctly():
+    db = LabBase(OStoreMM(), history_chunk=4)
+    _schema(db)
+    loader = BulkLoader(db)
+    ref = loader.add_material("clone", "c", 0)
+    for valid_time in range(1, 11):  # 10 steps -> 3 chunks of <=4
+        loader.add_step("s", valid_time, [ref], {"a": valid_time})
+    oids = loader.flush()
+    oid = oids[ref]
+    times = [s["valid_time"] for _o, s in db.material_history(oid)]
+    assert times == list(range(10, 0, -1))
+    # subsequent API appends continue the same chain
+    db.record_step("s", 11, [oid], {"a": 11})
+    assert db.history_length(oid) == 11
+    assert db.most_recent(oid, "a") == 11
+
+
+def test_bulk_validation_errors():
+    db = LabBase(OStoreMM())
+    _schema(db)
+    loader = BulkLoader(db)
+    with pytest.raises(UnknownClassError):
+        loader.add_material("plasmid", "p", 1)
+    with pytest.raises(Exception):
+        loader.add_step("s", 1, [], {"undeclared": 1})
+    loader.add_material("clone", "dup", 1)
+    with pytest.raises(DuplicateKeyError):
+        loader.add_material("clone", "dup", 1)
+
+
+def test_bulk_duplicate_against_existing_key_detected_at_flush():
+    db = LabBase(OStoreMM())
+    _schema(db)
+    db.create_material("clone", "taken", 1)
+    loader = BulkLoader(db)
+    loader.add_material("clone", "taken", 2)
+    with pytest.raises(DuplicateKeyError):
+        loader.flush()
+
+
+def test_loader_single_use():
+    db = LabBase(OStoreMM())
+    _schema(db)
+    loader = BulkLoader(db)
+    loader.add_material("clone", "c", 1)
+    loader.flush()
+    with pytest.raises(LabBaseError, match="flushed"):
+        loader.add_material("clone", "d", 2)
+    with pytest.raises(LabBaseError, match="flushed"):
+        loader.flush()
+
+
+def test_bulk_load_persists(tmp_path):
+    sm = ObjectStoreSM(path=str(tmp_path / "bulk.db"))
+    db = LabBase(sm)
+    _schema(db)
+    loader = BulkLoader(db)
+    ref = loader.add_material("clone", "c-1", 1, state="arrived")
+    loader.add_step("s", 2, [ref], {"a": 42})
+    loader.flush()
+    sm.close()
+    db2 = LabBase(ObjectStoreSM(path=str(tmp_path / "bulk.db")))
+    assert db2.most_recent(db2.lookup("clone", "c-1"), "a") == 42
+    db2.storage.close()

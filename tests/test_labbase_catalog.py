@@ -1,0 +1,126 @@
+"""Unit tests for the persistent catalog and schema evolution."""
+
+import pytest
+
+from repro.errors import SchemaError, UnknownClassError
+from repro.labbase.catalog import Catalog
+from repro.labbase.schema import MaterialClass
+from repro.storage import ObjectStoreSM, OStoreMM
+
+
+def _catalog(sm=None) -> Catalog:
+    return Catalog(sm or OStoreMM(), None)
+
+
+def test_register_and_fetch_material_class():
+    catalog = _catalog()
+    catalog.register_material_class(MaterialClass("clone"))
+    assert catalog.material_class("clone").name == "clone"
+
+
+def test_register_material_class_idempotent_for_equal_definition():
+    catalog = _catalog()
+    catalog.register_material_class(MaterialClass("clone"))
+    catalog.register_material_class(MaterialClass("clone"))  # no error
+
+
+def test_register_conflicting_definition_rejected():
+    catalog = _catalog()
+    catalog.register_material_class(MaterialClass("clone"))
+    with pytest.raises(SchemaError, match="different definition"):
+        catalog.register_material_class(MaterialClass("clone", key_attribute="id"))
+
+
+def test_unknown_material_class():
+    with pytest.raises(UnknownClassError):
+        _catalog().material_class("nope")
+
+
+def test_parent_must_exist():
+    catalog = _catalog()
+    with pytest.raises(SchemaError, match="unknown parent"):
+        catalog.register_material_class(MaterialClass("tclone", parent="clone"))
+
+
+def test_is_a_hierarchy():
+    catalog = _catalog()
+    catalog.register_material_class(MaterialClass("clone"))
+    catalog.register_material_class(MaterialClass("tclone", parent="clone"))
+    catalog.register_material_class(MaterialClass("gel"))
+    assert catalog.is_subclass("tclone", "clone")
+    assert catalog.is_subclass("clone", "clone")
+    assert not catalog.is_subclass("clone", "tclone")
+    assert not catalog.is_subclass("gel", "clone")
+    assert sorted(catalog.subclasses("clone")) == ["clone", "tclone"]
+
+
+def test_step_class_registration_creates_version_1():
+    catalog = _catalog()
+    version = catalog.register_step_class("seq", ("a", "b"))
+    assert version.version_id == 1
+    assert catalog.step_class("seq").current is version
+
+
+def test_same_attribute_set_reuses_version():
+    catalog = _catalog()
+    v1 = catalog.register_step_class("seq", ("a", "b"))
+    v1_again = catalog.register_step_class("seq", ("b", "a"))  # order-free
+    assert v1_again is v1
+
+
+def test_new_attribute_set_creates_new_version():
+    """The U4 schema-change operation."""
+    catalog = _catalog()
+    v1 = catalog.register_step_class("seq", ("a",))
+    v2 = catalog.register_step_class("seq", ("a", "b"))
+    assert v2.version_id != v1.version_id
+    assert catalog.step_class("seq").current is v2
+    assert catalog.step_class("seq").version_by_id(v1.version_id) is v1
+
+
+def test_involves_classes_must_exist():
+    catalog = _catalog()
+    with pytest.raises(UnknownClassError):
+        catalog.register_step_class("seq", ("a",), involves_classes=("clone",))
+
+
+def test_step_version_lookup_across_classes():
+    catalog = _catalog()
+    v1 = catalog.register_step_class("one", ("a",))
+    v2 = catalog.register_step_class("two", ("b",))
+    assert catalog.step_version(v1.version_id).name == "one"
+    assert catalog.step_version(v2.version_id).name == "two"
+    with pytest.raises(SchemaError):
+        catalog.step_version(99)
+
+
+def test_catalog_persists_and_reloads(tmp_path):
+    sm = ObjectStoreSM(path=str(tmp_path / "cat.db"))
+    catalog = Catalog(sm, None)
+    catalog.register_material_class(MaterialClass("clone"))
+    catalog.register_material_class(MaterialClass("tclone", parent="clone"))
+    v1 = catalog.register_step_class("seq", ("a",), involves_classes=("clone",))
+    v2 = catalog.register_step_class("seq", ("a", "b"))
+    catalog.material_counts["clone"] = 42
+    catalog.save_counters()
+    sm.close()
+
+    sm2 = ObjectStoreSM(path=str(tmp_path / "cat.db"))
+    restored = Catalog(sm2, None)
+    assert restored.material_class("tclone").parent == "clone"
+    assert len(restored.step_class("seq").versions) == 2
+    assert restored.step_class("seq").current.version_id == v2.version_id
+    assert restored.material_counts["clone"] == 42
+    # version ids keep increasing after reload
+    v3 = restored.register_step_class("seq", ("a", "b", "c"))
+    assert v3.version_id > v2.version_id
+    sm2.close()
+
+
+def test_reload_discards_unsaved_changes():
+    sm = OStoreMM()
+    catalog = Catalog(sm, None)
+    catalog.register_material_class(MaterialClass("clone"))
+    catalog.material_counts["clone"] = 7  # not saved
+    catalog.reload()
+    assert catalog.material_counts["clone"] == 0

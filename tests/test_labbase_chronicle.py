@@ -1,0 +1,120 @@
+"""Tests for chronicle (process re-engineering) queries."""
+
+import pytest
+
+from repro.errors import UnknownClassError
+from repro.labbase import LabBase
+from repro.labbase.chronicle import Chronicle
+from repro.storage import OStoreMM
+from repro.util.rng import DeterministicRng
+from repro.workflow import WorkflowEngine, build_genome_workflow
+
+
+@pytest.fixture(scope="module")
+def lab():
+    db = LabBase(OStoreMM())
+    engine = WorkflowEngine(db, build_genome_workflow(), DeterministicRng(31))
+    engine.install_schema()
+    for _ in range(8):
+        engine.create_material("clone")
+    engine.pump(1_000_000)  # run dry
+    return db, engine, Chronicle(db)
+
+
+def test_step_profiles_cover_all_executed_steps(lab):
+    db, engine, chronicle = lab
+    profiles = {p.class_name: p for p in chronicle.step_profiles()}
+    assert set(profiles) == set(engine.counters.per_step)
+    for name, count in engine.counters.per_step.items():
+        assert profiles[name].executions == count
+
+
+def test_step_profile_fields(lab):
+    _db, _engine, chronicle = lab
+    profile = next(
+        p for p in chronicle.step_profiles() if p.class_name == "determine_sequence"
+    )
+    assert profile.materials_touched > 0
+    assert profile.last_valid_time >= profile.first_valid_time
+    assert profile.mean_results_per_step == 3.0  # sequence, quality, read_length
+    assert profile.throughput > 0
+
+
+def test_rework_detects_resequencing(lab):
+    db, engine, chronicle = lab
+    report = chronicle.rework("determine_sequence")
+    assert report.materials_processed == db.count_materials("tclone")
+    # re-queues happened iff some material was sequenced twice
+    requeues = engine.counters.failures - (
+        db.count_steps("associate_tclone") - 8
+    )
+    assert (report.materials_reworked > 0) == (requeues > 0)
+    assert 0.0 <= report.rework_rate <= 1.0
+    assert report.max_runs_on_one_material >= 1
+
+
+def test_rework_unknown_class(lab):
+    _db, _engine, chronicle = lab
+    with pytest.raises(UnknownClassError):
+        chronicle.rework("nonexistent")
+
+
+def test_cycle_time_and_statistics(lab):
+    db, _engine, chronicle = lab
+    done = db.in_state("clone_done")
+    stats = chronicle.cycle_time_statistics(done)
+    assert stats["count"] == len(done)
+    assert 0 < stats["min"] <= stats["mean"] <= stats["max"]
+    assert chronicle.cycle_time(done[0]) > 0
+
+
+def test_cycle_time_of_fresh_material_is_zero():
+    db = LabBase(OStoreMM())
+    db.define_material_class("m")
+    oid = db.create_material("m", "x", 1)
+    chronicle = Chronicle(db)
+    assert chronicle.cycle_time(oid) == 0
+    assert chronicle.cycle_time_statistics([oid])["count"] == 0
+
+
+def test_steps_between_window(lab):
+    db, _engine, chronicle = lab
+    oid = db.in_state("clone_done")[0]
+    history = db.material_history(oid)
+    times = sorted(step["valid_time"] for _o, step in history)
+    window = chronicle.steps_between(oid, times[0], times[0])
+    assert len(window) >= 1
+    everything = chronicle.steps_between(oid, times[0], times[-1])
+    assert len(everything) == len(history)
+    assert chronicle.steps_between(oid, times[-1] + 1, times[-1] + 10) == []
+
+
+def test_funnel_is_monotone_along_the_pipeline(lab):
+    _db, _engine, chronicle = lab
+    funnel = chronicle.funnel(
+        "clone",
+        ["receive_clone", "assemble_sequence", "blast_search", "incorporate"],
+    )
+    counts = [count for _name, count in funnel]
+    assert counts[0] == 8
+    assert all(a >= b for a, b in zip(counts, counts[1:]))
+
+
+def test_funnel_respects_material_class(lab):
+    _db, _engine, chronicle = lab
+    funnel = dict(chronicle.funnel("gel", ["receive_clone", "read_gel"]))
+    assert funnel["receive_clone"] == 0  # receive_clone never touches gels
+    assert funnel["read_gel"] > 0
+
+
+def test_value_distribution(lab):
+    db, _engine, chronicle = lab
+    dist = chronicle.value_distribution("tclone", "quality")
+    assert dist["count"] > 0
+    assert 0.0 <= dist["min"] <= dist["mean"] <= dist["max"] <= 1.0
+    # non-numeric attributes are excluded rather than crashing
+    seq_dist = chronicle.value_distribution("tclone", "sequence")
+    assert seq_dist["count"] == 0
+    # is-a rollup: clone includes tclone values
+    rolled = chronicle.value_distribution("clone", "quality")
+    assert rolled["count"] >= dist["count"]

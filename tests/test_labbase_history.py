@@ -1,0 +1,114 @@
+"""Unit tests for history lists and the most-recent slow path."""
+
+import pytest
+
+from repro.labbase import model
+from repro.labbase.history import HistoryStore
+from repro.storage import OStoreMM
+
+
+def _setup(chunk=4):
+    sm = OStoreMM()
+    history = HistoryStore(sm, None, chunk=chunk)
+    material = model.make_material("clone", "c-1", 0)
+    return sm, history, material
+
+
+def _add_step(sm, history, material, valid_time, results):
+    step = model.make_step(1, valid_time, results, [1])
+    oid = sm.allocate_write(step)
+    history.append(material, oid)
+    return oid
+
+
+def test_append_and_scan_newest_first():
+    sm, history, material = _setup()
+    oids = [_add_step(sm, history, material, t, [("a", t)]) for t in range(10)]
+    assert material["history_len"] == 10
+    assert list(history.step_oids(material)) == list(reversed(oids))
+
+
+def test_chunking_creates_nodes_of_bounded_size():
+    sm, history, material = _setup(chunk=3)
+    for t in range(10):
+        _add_step(sm, history, material, t, [])
+    node_oid = material["history_head"]
+    nodes = 0
+    while node_oid != model.NIL:
+        node = sm.read(node_oid)
+        assert len(node["step_oids"]) <= 3
+        node_oid = node["next"]
+        nodes += 1
+    assert nodes == 4  # ceil(10/3)
+
+
+def test_invalid_chunk_rejected():
+    with pytest.raises(ValueError):
+        HistoryStore(OStoreMM(), None, chunk=0)
+
+
+def test_steps_by_valid_time_orders_out_of_order_inserts():
+    sm, history, material = _setup()
+    _add_step(sm, history, material, 5, [("a", "old")])
+    _add_step(sm, history, material, 20, [("a", "newest")])
+    _add_step(sm, history, material, 10, [("a", "mid")])  # late entry
+    times = [step["valid_time"] for _o, step in history.steps_by_valid_time(material)]
+    assert times == [20, 10, 5]
+
+
+def test_scan_most_recent_by_valid_time():
+    sm, history, material = _setup()
+    _add_step(sm, history, material, 5, [("q", 0.2)])
+    _add_step(sm, history, material, 30, [("q", 0.9)])
+    _add_step(sm, history, material, 10, [("q", 0.4)])
+    found = history.scan_most_recent(material, "q")
+    assert found is not None
+    valid_time, _oid, value = found
+    assert valid_time == 30 and value == 0.9
+
+
+def test_scan_most_recent_missing_attribute():
+    sm, history, material = _setup()
+    _add_step(sm, history, material, 1, [("other", 1)])
+    assert history.scan_most_recent(material, "q") is None
+
+
+def test_rebuild_recent_matches_incremental_updates():
+    sm, history, material = _setup()
+    times_values = [(5, 0.1), (12, 0.7), (8, 0.3), (12, 0.9)]
+    for valid_time, value in times_values:
+        oid = _add_step(sm, history, material, valid_time, [("q", value)])
+        model.update_recent(material, "q", valid_time, oid, value)
+    incremental = list(material["recent"]["q"])
+    history.rebuild_recent(material)
+    rebuilt = list(material["recent"]["q"])
+    assert rebuilt[0] == incremental[0] == 12
+    assert rebuilt[3] == incremental[3] == 0.9
+
+
+def test_remove_step_unlinks_and_shrinks():
+    sm, history, material = _setup(chunk=2)
+    oids = [_add_step(sm, history, material, t, []) for t in range(5)]
+    assert history.remove_step(material, oids[2])
+    assert material["history_len"] == 4
+    assert oids[2] not in list(history.step_oids(material))
+    assert not history.remove_step(material, oids[2])  # already gone
+
+
+def test_remove_then_rebuild_resurfaces_older_value():
+    sm, history, material = _setup()
+    _add_step(sm, history, material, 5, [("q", "old")])
+    newest = _add_step(sm, history, material, 9, [("q", "new")])
+    history.rebuild_recent(material)
+    assert material["recent"]["q"][3] == "new"
+    history.remove_step(material, newest)
+    history.rebuild_recent(material)
+    assert material["recent"]["q"][3] == "old"
+
+
+def test_steps_yields_records():
+    sm, history, material = _setup()
+    oid = _add_step(sm, history, material, 3, [("a", 1)])
+    pairs = list(history.steps(material))
+    assert pairs[0][0] == oid
+    assert pairs[0][1]["valid_time"] == 3

@@ -1,0 +1,71 @@
+"""Unit tests for user-level schema objects."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.labbase.schema import MaterialClass, StepClass, StepClassVersion
+
+
+def test_material_class_requires_name_and_key():
+    with pytest.raises(SchemaError):
+        MaterialClass(name="")
+    with pytest.raises(SchemaError):
+        MaterialClass(name="clone", key_attribute="")
+
+
+def test_version_identified_by_attribute_set():
+    v1 = StepClassVersion(1, "seq", ("a", "b"), ())
+    assert v1.attribute_set == frozenset({"a", "b"})
+
+
+def test_validate_results_accepts_declared_subset():
+    version = StepClassVersion(1, "seq", ("a", "b", "c"), ())
+    version.validate_results({"a": 1})
+    version.validate_results({})
+    version.validate_results({"a": 1, "b": 2, "c": 3})
+
+
+def test_validate_results_rejects_undeclared():
+    version = StepClassVersion(1, "seq", ("a",), ())
+    with pytest.raises(SchemaError, match="does not declare"):
+        version.validate_results({"zzz": 1})
+
+
+def test_version_meta_round_trip():
+    version = StepClassVersion(7, "seq", ("x", "y"), ("clone",), "desc")
+    assert StepClassVersion.from_meta(version.to_meta()) == version
+
+
+def test_step_class_current_is_newest():
+    v1 = StepClassVersion(1, "s", ("a",), ())
+    v2 = StepClassVersion(2, "s", ("a", "b"), ())
+    step_class = StepClass("s", [v1, v2])
+    assert step_class.current is v2
+
+
+def test_step_class_without_versions_raises():
+    with pytest.raises(SchemaError):
+        StepClass("s").current
+
+
+def test_find_version_by_attribute_set():
+    v1 = StepClassVersion(1, "s", ("a",), ())
+    v2 = StepClassVersion(2, "s", ("a", "b"), ())
+    step_class = StepClass("s", [v1, v2])
+    assert step_class.find_version(frozenset({"a"})) is v1
+    assert step_class.find_version(frozenset({"b", "a"})) is v2
+    assert step_class.find_version(frozenset({"z"})) is None
+
+
+def test_attribute_order_does_not_matter_for_identity():
+    v1 = StepClassVersion(1, "s", ("a", "b"), ())
+    step_class = StepClass("s", [v1])
+    assert step_class.find_version(frozenset(("b", "a"))) is v1
+
+
+def test_version_by_id():
+    v1 = StepClassVersion(5, "s", ("a",), ())
+    step_class = StepClass("s", [v1])
+    assert step_class.version_by_id(5) is v1
+    with pytest.raises(SchemaError):
+        step_class.version_by_id(6)

@@ -1,0 +1,110 @@
+"""Tests for multi-client sessions (the concurrency usability gap)."""
+
+import pytest
+
+from repro.errors import ConcurrencyUnsupportedError, LabBaseError, LockError
+from repro.labbase import LabBase, LabClock
+from repro.labbase.sessions import SessionManager
+from repro.storage import ObjectStoreSM, OStoreMM, TexasSM
+
+
+def _lab(sm):
+    db = LabBase(sm)
+    clock = LabClock()
+    db.define_material_class("clone")
+    db.define_step_class("s", ["a"], ["clone"])
+    oid = db.create_material("clone", "c-1", clock.tick(), state="active")
+    return db, clock, oid
+
+
+def test_ostore_supports_many_sessions():
+    db, clock, oid = _lab(ObjectStoreSM())
+    manager = SessionManager(db)
+    entry = manager.open_session("data-entry")
+    reports = manager.open_session("reports")
+    assert manager.open_sessions() == ["data-entry", "reports"]
+    entry.close()
+    reports.close()
+
+
+def test_texas_refuses_second_session():
+    db, clock, oid = _lab(TexasSM())
+    manager = SessionManager(db)
+    first = manager.open_session("only")
+    with pytest.raises(ConcurrencyUnsupportedError):
+        manager.open_session("second")
+    first.close()
+    # after closing, a new client may attach (serial reuse)
+    manager.open_session("second").close()
+
+
+def test_memory_store_has_no_session_support():
+    db, _clock, _oid = _lab(OStoreMM())
+    with pytest.raises(ConcurrencyUnsupportedError):
+        SessionManager(db)
+
+
+def test_readers_share_writers_conflict():
+    db, clock, oid = _lab(ObjectStoreSM())
+    manager = SessionManager(db)
+    reader_a = manager.open_session("reader-a")
+    reader_b = manager.open_session("reader-b")
+    writer = manager.open_session("writer")
+
+    db.record_step("s", clock.tick(), [oid], {"a": 1})
+    # two shared readers coexist
+    assert reader_a.most_recent(oid, "a") == 1
+    assert reader_b.most_recent(oid, "a") == 1
+    # a writer conflicts with the readers
+    with pytest.raises(LockError):
+        writer.record_step("s", clock.tick(), [oid], {"a": 2})
+    # readers release -> the writer proceeds (the 1996 retry discipline)
+    reader_a.release_locks()
+    reader_b.release_locks()
+    writer.record_step("s", clock.tick(), [oid], {"a": 2})
+    writer.release_locks()
+    assert db.most_recent(oid, "a") == 2
+
+
+def test_writer_blocks_reader_until_release():
+    db, clock, oid = _lab(ObjectStoreSM())
+    manager = SessionManager(db)
+    writer = manager.open_session("writer")
+    reader = manager.open_session("reader")
+    writer.set_state(oid, "busy", clock.tick())
+    with pytest.raises(LockError):
+        reader.most_recent(oid, "a") if db.has_attribute(oid, "a") else \
+            reader.lock_material(oid)
+    writer.release_locks()
+    reader.lock_material(oid)  # now fine
+
+
+def test_session_lifecycle_errors():
+    db, clock, oid = _lab(ObjectStoreSM())
+    manager = SessionManager(db)
+    session = manager.open_session("s")
+    with pytest.raises(LabBaseError, match="already open"):
+        manager.open_session("s")
+    session.close()
+    session.close()  # idempotent
+    with pytest.raises(LabBaseError, match="closed"):
+        session.lock_material(oid)
+
+
+def test_context_manager_releases():
+    db, clock, oid = _lab(ObjectStoreSM())
+    manager = SessionManager(db)
+    with manager.open_session("ctx") as session:
+        session.lock_material(oid, exclusive=True)
+    # lock released on exit: another writer succeeds immediately
+    with manager.open_session("next") as other:
+        other.lock_material(oid, exclusive=True)
+
+
+def test_same_session_may_rewrite_its_own_lock():
+    db, clock, oid = _lab(ObjectStoreSM())
+    manager = SessionManager(db)
+    with manager.open_session("solo") as session:
+        session.record_step("s", clock.tick(), [oid], {"a": 1})
+        session.record_step("s", clock.tick(), [oid], {"a": 2})  # no self-conflict
+        assert session.most_recent(oid, "a") == 2

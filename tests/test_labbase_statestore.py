@@ -1,0 +1,102 @@
+"""Unit tests for material sets and workflow states."""
+
+import pytest
+
+from repro.errors import StateError
+from repro.labbase import model
+from repro.labbase.catalog import Catalog
+from repro.labbase.statestore import StateStore, state_set_name
+from repro.storage import OStoreMM
+
+
+def _setup():
+    sm = OStoreMM()
+    catalog = Catalog(sm, None)
+    return sm, catalog, StateStore(sm, catalog, None)
+
+
+def test_ensure_set_creates_once():
+    _sm, catalog, sets = _setup()
+    first = sets.ensure_set("cohort")
+    second = sets.ensure_set("cohort")
+    assert first == second
+    assert "cohort" in catalog.set_directory
+
+
+def test_membership_operations():
+    _sm, _catalog, sets = _setup()
+    sets.add_member("s", 10)
+    sets.add_member("s", 11)
+    sets.add_member("s", 10)  # duplicate ignored
+    assert sets.members("s") == [10, 11]
+    assert sets.cardinality("s") == 2
+    assert sets.remove_member("s", 10)
+    assert not sets.remove_member("s", 10)
+    assert sets.members("s") == [11]
+
+
+def test_members_of_absent_set_is_empty():
+    _sm, _catalog, sets = _setup()
+    assert sets.members("ghost") == []
+    assert sets.cardinality("ghost") == 0
+    assert not sets.remove_member("ghost", 1)
+
+
+def test_enter_state_moves_between_sets():
+    _sm, _catalog, sets = _setup()
+    material = model.make_material("clone", "c", 0)
+    sets.enter_state(7, material, "arrived", 1)
+    assert material["state"] == "arrived"
+    assert sets.in_state("arrived") == [7]
+    sets.enter_state(7, material, "waiting", 2)
+    assert sets.in_state("arrived") == []
+    assert sets.in_state("waiting") == [7]
+    assert material["state_since"] == 2
+
+
+def test_leave_state_retracts():
+    _sm, _catalog, sets = _setup()
+    material = model.make_material("clone", "c", 0)
+    sets.enter_state(7, material, "arrived", 1)
+    old = sets.leave_state(7, material)
+    assert old == "arrived"
+    assert material["state"] is None
+    assert sets.in_state("arrived") == []
+
+
+def test_leave_state_without_state_raises():
+    _sm, _catalog, sets = _setup()
+    material = model.make_material("clone", "c", 0)
+    with pytest.raises(StateError):
+        sets.leave_state(7, material)
+
+
+def test_state_census():
+    _sm, _catalog, sets = _setup()
+    a = model.make_material("clone", "a", 0)
+    b = model.make_material("clone", "b", 0)
+    sets.enter_state(1, a, "arrived", 1)
+    sets.enter_state(2, b, "arrived", 1)
+    sets.enter_state(2, b, "done", 2)
+    sets.ensure_set("not-a-state")  # excluded from census
+    assert sets.state_census() == {"arrived": 1, "done": 1}
+
+
+def test_state_set_naming_convention():
+    assert state_set_name("arrived") == "state:arrived"
+
+
+def test_sets_persist_via_catalog(tmp_path):
+    from repro.storage import ObjectStoreSM
+
+    sm = ObjectStoreSM(path=str(tmp_path / "s.db"))
+    catalog = Catalog(sm, None)
+    sets = StateStore(sm, catalog, None)
+    sets.add_member("cohort", 42)
+    sm.close()
+
+    sm2 = ObjectStoreSM(path=str(tmp_path / "s.db"))
+    catalog2 = Catalog(sm2, None)
+    sets2 = StateStore(sm2, catalog2, None)
+    assert sets2.members("cohort") == [42]
+    sm2.close()

@@ -1,0 +1,51 @@
+"""Unit tests for the valid-time clock."""
+
+import pytest
+
+from repro.errors import BenchmarkError
+from repro.labbase.temporal import LabClock, newer, within
+
+
+def test_clock_starts_at_zero_and_ticks():
+    clock = LabClock()
+    assert clock.now == 0
+    assert clock.tick() == 1
+    assert clock.tick(5) == 6
+    assert clock.now == 6
+
+
+def test_clock_custom_start():
+    assert LabClock(start=100).tick() == 101
+
+
+def test_clock_never_moves_backwards():
+    clock = LabClock()
+    with pytest.raises(BenchmarkError):
+        clock.tick(0)
+    with pytest.raises(BenchmarkError):
+        clock.tick(-3)
+
+
+def test_backdated_clamps_at_epoch():
+    clock = LabClock()
+    clock.tick(10)
+    assert clock.backdated(3) == 7
+    assert clock.backdated(100) == 0
+    with pytest.raises(BenchmarkError):
+        clock.backdated(-1)
+
+
+def test_backdated_does_not_advance():
+    clock = LabClock()
+    clock.tick(5)
+    clock.backdated(2)
+    assert clock.now == 5
+
+
+def test_newer_and_within():
+    assert newer(10, 5)
+    assert not newer(5, 10)
+    assert not newer(5, 5)
+    assert within(5, 0, 10)
+    assert within(0, 0, 10) and within(10, 0, 10)
+    assert not within(11, 0, 10)

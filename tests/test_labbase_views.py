@@ -1,0 +1,66 @@
+"""Unit tests for MaterialView."""
+
+import pytest
+
+from repro.labbase import view
+from repro.labbase.views import MaterialView
+
+
+@pytest.fixture
+def populated(mm_db, clock):
+    db = mm_db
+    db.define_material_class("clone")
+    db.define_step_class("s", ["quality", "sequence"], ["clone"])
+    oid = db.create_material("clone", "c-1", clock.tick(), state="arrived")
+    db.record_step("s", clock.tick(), [oid], {"quality": 0.9})
+    return db, oid
+
+
+def test_view_lookup_by_class_and_key(populated, clock):
+    db, oid = populated
+    material_view = view(db, "clone", "c-1")
+    assert material_view.oid == oid
+
+
+def test_mapping_protocol(populated):
+    db, oid = populated
+    material_view = MaterialView(db, oid)
+    assert material_view["quality"] == 0.9
+    assert "quality" in material_view
+    assert "sequence" not in material_view
+    assert len(material_view) == 1
+    assert list(material_view) == ["quality"]
+    with pytest.raises(KeyError):
+        material_view["sequence"]
+    assert material_view.get("sequence") is None  # Mapping mixin
+
+
+def test_identity_properties(populated):
+    db, oid = populated
+    material_view = MaterialView(db, oid)
+    assert material_view.class_name == "clone"
+    assert material_view.key == "c-1"
+    assert material_view.state == "arrived"
+
+
+def test_view_is_live_not_snapshot(populated, clock):
+    db, oid = populated
+    material_view = MaterialView(db, oid)
+    assert len(material_view) == 1
+    db.record_step("s", clock.tick(), [oid], {"sequence": "ACGT"})
+    assert material_view["sequence"] == "ACGT"
+    assert len(material_view) == 2
+
+
+def test_history_and_as_dict(populated, clock):
+    db, oid = populated
+    material_view = MaterialView(db, oid)
+    db.record_step("s", clock.tick(), [oid], {"quality": 0.95})
+    assert material_view.as_dict() == {"quality": 0.95}
+    assert len(material_view.history()) == 2
+
+
+def test_repr_is_informative(populated):
+    db, oid = populated
+    text = repr(MaterialView(db, oid))
+    assert "clone" in text and "c-1" in text and "arrived" in text

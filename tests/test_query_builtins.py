@@ -1,0 +1,142 @@
+"""Unit tests for builtin predicates."""
+
+import pytest
+
+from repro.errors import EvaluationError, InstantiationError
+from repro.query import Program
+
+
+@pytest.fixture
+def program():
+    return Program(text="n(1). n(2). n(3). item(apple, 3). item(pear, 5).")
+
+
+def test_unify_and_not_unify(program):
+    assert program.solutions("X = 5.") == [{"X": 5}]
+    assert program.ask("a \\= b.")
+    assert not program.ask("a \\= a.")
+
+
+def test_structural_equality(program):
+    assert program.ask("f(1, X) == f(1, X).")
+    assert not program.ask("f(1) == f(2).")
+    assert program.ask("f(1) \\== f(2).")
+
+
+def test_is_arithmetic(program):
+    assert program.first("X is 2 + 3 * 4.")["X"] == 14
+    assert program.first("X is 10 / 4.")["X"] == 2.5
+    assert program.first("X is 10 / 5.")["X"] == 2
+    assert program.first("X is 7 mod 3.")["X"] == 1
+    assert program.first("X is abs(0 - 5).")["X"] == 5
+    assert program.first("X is min(2, 9) + max(2, 9).")["X"] == 11
+
+
+def test_is_errors(program):
+    with pytest.raises(InstantiationError):
+        program.solutions("X is Y + 1.")
+    with pytest.raises(EvaluationError, match="zero"):
+        program.solutions("X is 1 / 0.")
+    with pytest.raises(EvaluationError):
+        program.solutions("X is foo + 1.")
+
+
+def test_comparisons_evaluate_both_sides(program):
+    assert program.ask("2 + 2 >= 4.")
+    assert program.ask("2 * 3 =< 7.")
+    assert [s["X"] for s in program.solve("n(X), X < 3.")] == [1, 2]
+
+
+def test_member_enumerates_and_checks(program):
+    assert [s["X"] for s in program.solve("member(X, [a, b, c]).")] == ["a", "b", "c"]
+    assert program.ask("member(b, [a, b]).")
+    assert not program.ask("member(z, [a, b]).")
+
+
+def test_length(program):
+    assert program.first("length([a, b, c], N).")["N"] == 3
+    assert program.ask("length([], 0).")
+    with pytest.raises(InstantiationError):
+        program.solutions("length(L, 3).")
+
+
+def test_append_all_modes(program):
+    assert program.first("append([1], [2, 3], L).")["L"] == [1, 2, 3]
+    splits = program.solutions("append(A, B, [1, 2]).")
+    assert len(splits) == 3
+    assert program.ask("append([1], X, [1, 2]).")
+
+
+def test_reverse(program):
+    assert program.first("reverse([1, 2, 3], R).")["R"] == [3, 2, 1]
+
+
+def test_between(program):
+    assert [s["X"] for s in program.solve("between(2, 5, X).")] == [2, 3, 4, 5]
+
+
+def test_findall_collects_with_duplicates(program):
+    result = program.first("findall(W, item(F, W), Ws).")
+    assert result["Ws"] == [3, 5]
+    assert program.first("findall(X, n(99), Out).")["Out"] == []
+
+
+def test_setof_sorts_dedups_and_fails_empty(program):
+    program.consult("dup(b). dup(a). dup(b).")
+    assert program.first("setof(X, dup(X), S).")["S"] == ["a", "b"]
+    assert not program.ask("setof(X, n(99), S).")  # empty -> failure
+
+
+def test_count_and_sum(program):
+    assert program.first("count(n(X), N).")["N"] == 3
+    assert program.first("sum(W, item(F, W), Total).")["Total"] == 8
+    assert program.first("count(n(99), N).")["N"] == 0
+
+
+def test_type_tests(program):
+    assert program.ask("number(3).")
+    assert not program.ask("number(abc).")
+    assert not program.ask("number(true).")  # bool is not a number here
+    assert program.ask("atom(abc).")
+    assert not program.ask("atom(3).")
+    assert program.ask("var(X).")
+    assert program.ask("X = 1, nonvar(X).")
+    assert program.ask("ground(f(1, 2)).")
+    assert not program.ask("ground(f(1, Y)).")
+
+
+def test_once_commits_to_first_solution(program):
+    assert program.solutions("once(n(X)).") == [{"X": 1}]
+
+
+def test_call_meta(program):
+    assert program.solutions("G = n(2), call(G).") != []
+
+
+def test_true_fail(program):
+    assert program.ask("true.")
+    assert not program.ask("fail.")
+
+
+def test_write_and_nl_capture_output(program):
+    program.ask('write("hello"), nl, write(42).')
+    assert program.output_text() == "'hello'\n42"
+
+
+def test_assert_and_retract_dynamic_facts(program):
+    program.ask("assert(extra(1)).")
+    program.ask("assert(extra(2)).")
+    assert [s["X"] for s in program.solve("extra(X).")] == [1, 2]
+    assert program.ask("retract(extra(1)).")
+    assert [s["X"] for s in program.solve("extra(X).")] == [2]
+    assert not program.ask("retract(extra(99)).")
+
+
+def test_retract_unifies_and_binds(program):
+    program.ask("assert(fact(7)).")
+    assert program.first("retract(fact(X)).")["X"] == 7
+
+
+def test_assert_over_builtin_rejected(program):
+    with pytest.raises(EvaluationError, match="builtin"):
+        program.ask("assert(member(1, [1])).")

@@ -1,0 +1,81 @@
+"""Tests for the extended builtin set (lists, sorting, forall, atoms)."""
+
+import pytest
+
+from repro.errors import EvaluationError, InstantiationError
+from repro.query import Program
+
+
+@pytest.fixture
+def program():
+    return Program(text="n(3). n(1). n(2). n(1).")
+
+
+def test_nth0_access_and_enumeration(program):
+    assert program.first("nth0(1, [a, b, c], X).")["X"] == "b"
+    assert not program.ask("nth0(9, [a], X).")
+    rows = program.solutions("nth0(I, [x, y], E).")
+    assert rows == [{"I": 0, "E": "x"}, {"I": 1, "E": "y"}]
+
+
+def test_nth0_check_mode(program):
+    assert program.ask("nth0(0, [a, b], a).")
+    assert not program.ask("nth0(0, [a, b], b).")
+
+
+def test_last(program):
+    assert program.first("last([1, 2, 3], X).")["X"] == 3
+    assert not program.ask("last([], X).")
+
+
+def test_sort_dedups_msort_keeps(program):
+    assert program.first("msort([3, 1, 2, 1], S).")["S"] == [1, 1, 2, 3]
+    assert program.first("sort([3, 1, 2, 1], S).")["S"] == [1, 2, 3]
+
+
+def test_sort_mixed_types_total_order(program):
+    result = program.first('sort([b, 2, "s", a, 1], S).')["S"]
+    assert result == [1, 2, "a", "b", "s"]  # numbers < atoms < strings
+
+
+def test_sum_min_max_list(program):
+    assert program.first("sum_list([1, 2, 3], S).")["S"] == 6
+    assert program.first("sum_list([], S).")["S"] == 0
+    assert program.first("max_list([3, 9, 2], M).")["M"] == 9
+    assert program.first("min_list([3, 9, 2], M).")["M"] == 2
+    assert not program.ask("max_list([], M).")
+
+
+def test_aggregates_via_findall_pipeline(program):
+    row = program.first("findall(X, n(X), Xs), msort(Xs, S), last(S, Max).")
+    assert row["S"] == [1, 1, 2, 3]
+    assert row["Max"] == 3
+
+
+def test_forall(program):
+    assert program.ask("forall(n(X), X > 0).")
+    assert not program.ask("forall(n(X), X > 1).")
+    assert program.ask("forall(fail, fail).")  # vacuously true
+
+
+def test_atom_length(program):
+    assert program.first("atom_length(hello, N).")["N"] == 5
+    assert program.first('atom_length("str", N).')["N"] == 3
+    with pytest.raises(InstantiationError):
+        program.ask("atom_length(X, N).")
+    with pytest.raises(EvaluationError):
+        program.ask("atom_length(42, N).")
+
+
+def test_atom_concat(program):
+    assert program.first("atom_concat(clone, '-001', K).")["K"] == "clone-001"
+    assert program.ask("atom_concat(a, b, ab).")
+    with pytest.raises(InstantiationError):
+        program.ask("atom_concat(X, b, ab).")
+
+
+def test_instantiation_errors_for_unbound_lists(program):
+    for goal in ("nth0(0, L, X).", "last(L, X).", "sort(L, S).",
+                 "sum_list(L, S)."):
+        with pytest.raises(InstantiationError):
+            program.ask(goal)

@@ -1,0 +1,121 @@
+"""Unit tests for SLD resolution, negation, recursion and errors."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.query import Program
+
+
+def _program(text=""):
+    return Program(text=text)
+
+
+def test_facts_enumerate_in_order():
+    program = _program("color(red). color(green). color(blue).")
+    assert [s["X"] for s in program.solve("color(X).")] == ["red", "green", "blue"]
+
+
+def test_conjunction_joins():
+    program = _program("""
+        parent(tom, bob). parent(tom, liz). parent(bob, ann).
+        grandparent(G, C) <- parent(G, P), parent(P, C).
+    """)
+    assert program.solutions("grandparent(tom, C).") == [{"C": "ann"}]
+
+
+def test_recursion_transitive_closure():
+    program = _program("""
+        edge(a, b). edge(b, c). edge(c, d).
+        path(X, Y) <- edge(X, Y).
+        path(X, Y) <- edge(X, Z), path(Z, Y).
+    """)
+    reachable = sorted(s["Y"] for s in program.solve("path(a, Y)."))
+    assert reachable == ["b", "c", "d"]
+
+
+def test_backtracking_through_failures():
+    program = _program("""
+        num(1). num(2). num(3). num(4).
+        big(X) <- num(X), X > 2.
+    """)
+    assert [s["X"] for s in program.solve("big(X).")] == [3, 4]
+
+
+def test_negation_as_failure():
+    program = _program("""
+        bird(tweety). bird(pingu).
+        flies(tweety).
+        grounded(X) <- bird(X), \\+ flies(X).
+    """)
+    assert program.solutions("grounded(X).") == [{"X": "pingu"}]
+
+
+def test_negation_with_bound_goal():
+    program = _program("p(a).")
+    assert program.ask("\\+ p(b).")
+    assert not program.ask("\\+ p(a).")
+
+
+def test_unknown_predicate_is_an_error():
+    program = _program("p(a).")
+    with pytest.raises(EvaluationError, match="unknown predicate"):
+        program.solutions("qqq(X).")
+
+
+def test_arity_matters_for_predicate_identity():
+    program = _program("p(a). p(a, b).")
+    assert program.solutions("p(X).") == [{"X": "a"}]
+    with pytest.raises(EvaluationError):
+        program.solutions("p(X, Y, Z).")
+
+
+def test_depth_bound_stops_runaway_recursion():
+    program = Program(text="loop(X) <- loop(X).", max_depth=100)
+    with pytest.raises(EvaluationError, match="depth"):
+        program.solutions("loop(1).")
+
+
+def test_unbound_goal_is_an_error():
+    program = _program("p(a).")
+    with pytest.raises(EvaluationError, match="unbound"):
+        program.solutions("call(G).")
+
+
+def test_zero_arity_atom_goal():
+    program = _program("ready. go <- ready.")
+    assert program.ask("go.")
+
+
+def test_rule_variables_do_not_leak_between_solutions():
+    program = _program("""
+        pair(1, one). pair(2, two).
+        both(A, B) <- pair(A, _), pair(_, B).
+    """)
+    solutions = program.solutions("both(A, B).")
+    assert len(solutions) == 4  # full cross product
+
+
+def test_solutions_stream_lazily():
+    program = _program("n(1). n(2). n(3).")
+    stream = program.solve("n(X).")
+    assert next(stream)["X"] == 1  # without exhausting
+
+
+def test_first_and_ask():
+    program = _program("n(1). n(2).")
+    assert program.first("n(X).") == {"X": 1}
+    assert program.first("n(9).") is None
+    assert program.ask("n(2).")
+    assert not program.ask("n(9).")
+
+
+def test_cannot_redefine_builtin():
+    with pytest.raises(EvaluationError, match="redefine"):
+        _program("member(X, Y) <- true.")
+
+
+def test_embedded_query_returned_not_run():
+    program = Program()
+    queries = program.consult("p(a). ?- p(X).")
+    assert len(queries) == 1
+    assert program.solutions(queries[0]) == [{"X": "a"}]

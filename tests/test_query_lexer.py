@@ -1,0 +1,84 @@
+"""Unit tests for the tokenizer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.query.lexer import ATOM, NUMBER, PUNCT, STRING, VAR, tokenize
+
+
+def _types(text):
+    return [t.type for t in tokenize(text)][:-1]  # drop END
+
+
+def _values(text):
+    return [t.value for t in tokenize(text)][:-1]
+
+
+def test_atoms_and_variables():
+    assert _types("foo Bar _baz") == [ATOM, VAR, VAR]
+
+
+def test_colon_in_atom_names():
+    """The paper's test:sequencing_ok must lex as one atom."""
+    tokens = tokenize("test:sequencing_ok(M)")
+    assert tokens[0].type == ATOM
+    assert tokens[0].value == "test:sequencing_ok"
+
+
+def test_numbers():
+    assert _values("42 3.25 0") == [42, 3.25, 0]
+    assert isinstance(_values("42")[0], int)
+    assert isinstance(_values("3.25")[0], float)
+
+
+def test_strings_and_quoted_atoms():
+    tokens = tokenize("\"hello world\" 'clone-001'")
+    assert tokens[0].type == STRING and tokens[0].value == "hello world"
+    assert tokens[1].type == ATOM and tokens[1].value == "clone-001"
+
+
+def test_escapes_in_strings():
+    assert _values(r'"a\nb"') == ["a\nb"]
+    assert _values(r"'it\'s'") == ["it's"]
+
+
+def test_operators_longest_match():
+    assert _values("X =< Y") == ["X", "=<", "Y"]
+    assert _values("X \\== Y") == ["X", "\\==", "Y"]
+    assert _values("a <- b :- c ?- d") == ["a", "<-", "b", ":-", "c", "?-", "d"]
+
+
+def test_end_of_clause_dot_vs_float_dot():
+    values = _values("p(1.5).")
+    assert values == ["p", "(", 1.5, ")", "."]
+
+
+def test_comments_ignored():
+    values = _values("a % line comment\nb /* block\ncomment */ c")
+    assert values == ["a", "b", "c"]
+
+
+def test_unterminated_comment_raises():
+    with pytest.raises(LexError, match="comment"):
+        tokenize("/* never closed")
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(LexError, match="unterminated"):
+        tokenize('"no close')
+
+
+def test_unexpected_character_reports_position():
+    with pytest.raises(LexError) as info:
+        tokenize("abc\n  @")
+    assert info.value.line == 2
+    assert info.value.column == 3
+
+
+def test_list_punctuation():
+    assert _values("[1, 2 | T]") == ["[", 1, ",", 2, "|", "T", "]"]
+
+
+def test_line_numbers_tracked():
+    tokens = tokenize("a\nb\n  c")
+    assert [t.line for t in tokens[:-1]] == [1, 2, 3]

@@ -1,0 +1,98 @@
+"""Tests for the standard view library over a real genome-lab run."""
+
+import pytest
+
+from repro.labbase import LabBase
+from repro.query.library import new_program_with_library
+from repro.storage import OStoreMM
+from repro.util.rng import DeterministicRng
+from repro.workflow import WorkflowEngine, build_genome_workflow
+
+
+@pytest.fixture(scope="module")
+def lab():
+    db = LabBase(OStoreMM())
+    engine = WorkflowEngine(db, build_genome_workflow(), DeterministicRng(2))
+    engine.install_schema()
+    for _ in range(5):
+        engine.create_material("clone")
+    engine.pump(1_000_000)
+    return db, engine, new_program_with_library(db)
+
+
+def test_derived_from_finds_clone_tclone_lineage(lab):
+    db, _engine, program = lab
+    pairs = program.solutions("derived_from(P, C), material(tclone, K, C).")
+    assert len(pairs) == db.count_materials("tclone", include_subclasses=False)
+    for row in pairs:
+        parent = db.material(row["P"])
+        assert parent["class_name"] == "clone"
+
+
+def test_ancestor_material_is_transitive(lab):
+    db, _engine, program = lab
+    # gels descend from tclones which descend from clones
+    gel_row = program.first("material(gel, K, G).")
+    ancestors = program.solutions(f"ancestor_material(A, {gel_row['G']}).")
+    classes = {db.material(row["A"])["class_name"] for row in ancestors}
+    assert classes == {"clone", "tclone"}
+
+
+def test_processed_by(lab):
+    _db, _engine, program = lab
+    clone_row = program.first("material(clone, 'clone-000001', M).")
+    steps = {r["C"] for r in program.solve(f"processed_by({clone_row['M']}, C).")}
+    assert "receive_clone" in steps and "incorporate" in steps
+
+
+def test_reworked_matches_engine_failures(lab):
+    db, engine, program = lab
+    requeues = engine.counters.failures - (
+        db.count_steps("associate_tclone") - 5
+    )
+    reworked = program.solutions(
+        "material(tclone, K, M), reworked(M, determine_sequence)."
+    )
+    reworked_count = len({row["M"] for row in reworked})
+    assert (reworked_count > 0) == (requeues > 0)
+
+
+def test_first_last_and_cycle_time(lab):
+    db, _engine, program = lab
+    from repro.labbase import Chronicle
+
+    clone_row = program.first("material(clone, 'clone-000002', M).")
+    oid = clone_row["M"]
+    row = program.first(f"cycle_time({oid}, D).")
+    assert row["D"] == Chronicle(db).cycle_time(oid)
+    first = program.first(f"first_event({oid}, T).")["T"]
+    last = program.first(f"last_event({oid}, T).")["T"]
+    assert first + row["D"] == last
+
+
+def test_state_population_matches_census(lab):
+    db, _engine, program = lab
+    for state, population in db.sets.state_census().items():
+        row = program.first(f"state_population({state}, N).")
+        assert row["N"] == population, state
+
+
+def test_class_in_state(lab):
+    db, _engine, program = lab
+    rows = program.solutions("class_in_state(gel, gel_done, M).")
+    assert len(rows) == db.count_materials("gel")
+
+
+def test_value_thresholds(lab):
+    db, _engine, program = lab
+    good = program.solutions(
+        "material(tclone, K, M), value_at_least(M, quality, 0.5)."
+    )
+    bad = program.solutions(
+        "material(tclone, K, M), value_below(M, quality, 0.5)."
+    )
+    with_quality = program.solutions(
+        "material(tclone, K, M), has_value(M, quality)."
+    )
+    assert len(good) + len(bad) == len(with_quality)
+    assert len(with_quality) == db.count_materials("tclone", include_subclasses=False)

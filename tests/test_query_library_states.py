@@ -1,0 +1,34 @@
+"""Regression test for the free-variable aggregation pitfall.
+
+`state_population(S, N)` with S unbound must enumerate per-state
+populations — the bug this pins was S staying unbound while count/2
+aggregated every state fact.
+"""
+
+from repro.labbase import LabBase, LabClock
+from repro.query.library import new_program_with_library
+from repro.storage import OStoreMM
+
+
+def test_state_population_enumerates_states():
+    db = LabBase(OStoreMM())
+    clock = LabClock()
+    db.define_material_class("m")
+    for index, state in enumerate(["a", "a", "a", "b", "b"]):
+        db.create_material("m", f"k-{index}", clock.tick(), state=state)
+    program = new_program_with_library(db)
+    rows = program.solutions("state_population(S, N), N > 0.")
+    assert {(row["S"], row["N"]) for row in rows} == {("a", 3), ("b", 2)}
+
+
+def test_workflow_state_enumerates_even_empty_states():
+    db = LabBase(OStoreMM())
+    clock = LabClock()
+    db.define_material_class("m")
+    oid = db.create_material("m", "k", clock.tick(), state="start")
+    db.set_state(oid, "end", clock.tick())
+    program = new_program_with_library(db)
+    states = {row["S"] for row in program.solve("workflow_state(S).")}
+    assert states == {"start", "end"}  # start is empty but known
+    rows = program.solutions("state_population(start, N).")
+    assert rows == [{"N": 0}]

@@ -1,0 +1,147 @@
+"""Unit tests for the parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.query import ast
+from repro.query.parser import parse_program, parse_query, parse_term
+
+
+def test_fact_and_rule():
+    rules, queries = parse_program("p(a). q(X) <- p(X).")
+    assert len(rules) == 2 and not queries
+    fact, rule = rules
+    assert fact.is_fact
+    assert fact.head.functor == "p"
+    assert rule.head.functor == "q"
+    assert rule.body[0].functor == "p"
+
+
+def test_both_arrows_accepted():
+    rules, _ = parse_program("a <- b. c :- d.")
+    assert all(len(rule.body) == 1 for rule in rules)
+
+
+def test_embedded_queries_returned():
+    rules, queries = parse_program("p(a). ?- p(X), p(Y).")
+    assert len(queries) == 1
+    assert len(queries[0]) == 2
+
+
+def test_variables_shared_within_clause():
+    rules, _ = parse_program("same(X, X).")
+    head = rules[0].head
+    assert head.args[0] is head.args[1]
+
+
+def test_variables_not_shared_across_clauses():
+    rules, _ = parse_program("p(X). q(X).")
+    assert rules[0].head.args[0] is not rules[1].head.args[0]
+
+
+def test_anonymous_variables_are_fresh():
+    rules, _ = parse_program("p(_, _).")
+    first, second = rules[0].head.args
+    assert first != second
+
+
+def test_atoms_vs_strings_distinct():
+    term = parse_term("f(abc, \"abc\")")
+    atom_arg, string_arg = term.args
+    assert isinstance(atom_arg.value, ast.Sym)
+    assert not isinstance(string_arg.value, ast.Sym)
+
+
+def test_list_syntax():
+    term = parse_term("[1, 2, 3]")
+    assert ast.term_to_python(term) == [1, 2, 3]
+    assert parse_term("[]") == ast.EMPTY_LIST
+
+
+def test_list_with_tail():
+    term = parse_term("[H | T]")
+    assert term.functor == "."
+    assert isinstance(term.args[0], ast.Var)
+    assert isinstance(term.args[1], ast.Var)
+
+
+def test_nested_structures():
+    term = parse_term("point(coords(1, 2), [a, b])")
+    assert term.functor == "point"
+    assert term.args[0].functor == "coords"
+
+
+def test_arithmetic_precedence():
+    # 1 + 2 * 3 parses as +(1, *(2, 3))
+    term = parse_term("1 + 2 * 3")
+    assert term.functor == "+"
+    assert term.args[1].functor == "*"
+
+
+def test_parenthesized_expression():
+    term = parse_term("(1 + 2) * 3")
+    assert term.functor == "*"
+    assert term.args[0].functor == "+"
+
+
+def test_comparison_builds_struct():
+    goals = parse_query("X =< 3 + 1.")
+    goal = goals[0]
+    assert goal.functor == "=<"
+    assert goal.args[1].functor == "+"
+
+
+def test_is_expression():
+    goals = parse_query("Y is X mod 2.")
+    assert goals[0].functor == "is"
+    assert goals[0].args[1].functor == "mod"
+
+
+def test_negative_number_literal():
+    assert parse_term("-5") == ast.Const(-5)
+    term = parse_term("-X")
+    assert term.functor == "-" and term.args[0] == ast.Const(0)
+
+
+def test_negation_as_failure():
+    goals = parse_query("\\+ p(X).")
+    assert isinstance(goals[0], ast.Neg)
+    assert goals[0].goal.functor == "p"
+
+
+def test_pair_syntax_for_results():
+    """record_step's attr = value pairs parse as '='/2 structs."""
+    term = parse_term("[quality = 0.9, sequence = \"ACGT\"]")
+    pairs = list(ast.iter_list(term))
+    assert pairs[0].functor == "=" and pairs[0].args[1] == ast.Const(0.9)
+
+
+def test_clause_head_must_be_predicate():
+    with pytest.raises(ParseError):
+        parse_program("42 <- p.")
+
+
+def test_missing_dot_rejected():
+    with pytest.raises(ParseError):
+        parse_program("p(a) q(b).")
+
+
+def test_trailing_garbage_in_query_rejected():
+    with pytest.raises(ParseError):
+        parse_query("p(X). extra")
+
+
+def test_unbalanced_parens_rejected():
+    with pytest.raises(ParseError):
+        parse_term("f(a, b")
+
+
+def test_query_with_optional_prefix_and_dot():
+    assert parse_query("?- p(X).") == parse_query("p(X)")
+
+
+def test_rule_repr_round_trips_through_parser():
+    rules, _ = parse_program("anc(X, Y) <- par(X, Z), anc(Z, Y).")
+    text = repr(rules[0])
+    reparsed, _ = parse_program(text)
+    assert repr(reparsed[0]) == text

@@ -1,0 +1,165 @@
+"""Tests for the LabBase-backed base predicates and update predicates."""
+
+import pytest
+
+from repro.errors import EvaluationError, InstantiationError
+from repro.labbase import LabBase, LabClock
+from repro.query import Program
+from repro.storage import OStoreMM
+
+
+@pytest.fixture
+def db():
+    database = LabBase(OStoreMM())
+    database.define_material_class("clone")
+    database.define_material_class("tclone", parent="clone")
+    database.define_step_class(
+        "determine_sequence", ["sequence", "quality"], ["tclone"]
+    )
+    return database
+
+
+@pytest.fixture
+def program(db):
+    return Program(db=db, clock=LabClock())
+
+
+def _mint(program, key="tc-1", state="waiting_for_sequencing"):
+    row = program.first(f"create_material(tclone, '{key}', M).")
+    oid = row["M"]
+    program.ask(f"set_state({oid}, {state}).")
+    return oid
+
+
+def test_create_material_binds_oid(program, db):
+    oid = _mint(program)
+    assert db.lookup("tclone", "tc-1") == oid
+
+
+def test_material_lookup_modes(program, db):
+    oid = _mint(program)
+    # forward: class+key -> oid
+    assert program.first("material(tclone, 'tc-1', M).")["M"] == oid
+    # backward: oid -> class+key
+    row = program.first(f"material(C, K, {oid}).")
+    assert row["C"] == "tclone" and row["K"] == "tc-1"
+    # enumeration
+    assert program.solutions("material(C, K, M).") == [
+        {"C": "tclone", "K": "tc-1", "M": oid}
+    ]
+    # miss fails quietly
+    assert not program.ask("material(tclone, 'nope', M).")
+
+
+def test_state_modes(program, db):
+    oid = _mint(program)
+    assert program.first(f"state({oid}, S).")["S"] == "waiting_for_sequencing"
+    assert program.first("state(M, waiting_for_sequencing).")["M"] == oid
+    assert program.solutions("state(M, S).") == [
+        {"M": oid, "S": "waiting_for_sequencing"}
+    ]
+    assert not program.ask("state(M, nonexistent_state).")
+
+
+def test_record_step_and_value_of(program, db):
+    oid = _mint(program)
+    program.ask(
+        f"record_step(determine_sequence, [{oid}], "
+        f"[sequence = \"ACGT\", quality = 0.75])."
+    )
+    assert program.first(f"value_of({oid}, quality, V).")["V"] == 0.75
+    # enumerate attributes
+    rows = program.solutions(f"value_of({oid}, A, V).")
+    assert {row["A"] for row in rows} == {"sequence", "quality"}
+    # check-mode with wrong value fails
+    assert not program.ask(f"value_of({oid}, quality, 0.1).")
+
+
+def test_record_step_rejects_malformed_results(program):
+    oid = _mint(program)
+    with pytest.raises(EvaluationError, match="attr = value"):
+        program.ask(f"record_step(determine_sequence, [{oid}], [quality]).")
+
+
+def test_history_and_step_predicates(program, db):
+    oid = _mint(program)
+    program.ask(f"record_step(determine_sequence, [{oid}], [quality = 0.5]).")
+    program.ask(f"record_step(determine_sequence, [{oid}], [quality = 0.9]).")
+    steps = program.solutions(f"history_step({oid}, S).")
+    assert len(steps) == 2
+    step_oid = steps[0]["S"]
+    info = program.first(f"step_info({step_oid}, C, T).")
+    assert info["C"] == "determine_sequence" and isinstance(info["T"], int)
+    assert program.first(f"step_result({step_oid}, quality, Q).")["Q"] == 0.9
+    assert program.first(f"involves({step_oid}, M).")["M"] == oid
+
+
+def test_counts(program, db):
+    _mint(program, "tc-1")
+    _mint(program, "tc-2")
+    assert program.first("class_count(tclone, N).")["N"] == 2
+    assert program.first("class_count(clone, N).")["N"] == 2  # is-a rollup
+    program.ask("record_step(determine_sequence, [], []).")
+    assert program.first("step_count(determine_sequence, N).")["N"] == 1
+    # enumeration mode lists all classes
+    rows = program.solutions("class_count(C, N).")
+    assert {row["C"] for row in rows} == {"clone", "tclone"}
+
+
+def test_material_and_step_class_enumeration(program):
+    assert {r["C"] for r in program.solutions("material_class(C).")} == {
+        "clone", "tclone",
+    }
+    assert program.solutions("step_class(C).") == [{"C": "determine_sequence"}]
+
+
+def test_assert_retract_state_routing(program, db):
+    """The paper's transition rule runs verbatim."""
+    oid = _mint(program)
+    program.consult("""
+        test:sequencing_ok(M) <- value_of(M, quality, Q), Q >= 0.8.
+        promote(M) <- state(M, waiting_for_sequencing),
+                      test:sequencing_ok(M),
+                      retract(state(M, waiting_for_sequencing)),
+                      assert(state(M, waiting_for_incorporation)).
+    """)
+    program.ask(f"record_step(determine_sequence, [{oid}], [quality = 0.6]).")
+    assert not program.ask(f"promote({oid}).")  # quality too low
+    assert db.state_of(oid) == "waiting_for_sequencing"
+
+    program.ask(f"record_step(determine_sequence, [{oid}], [quality = 0.95]).")
+    assert program.ask(f"promote({oid}).")
+    assert db.state_of(oid) == "waiting_for_incorporation"
+
+
+def test_retract_state_fails_on_mismatch(program, db):
+    oid = _mint(program)
+    assert not program.ask(f"retract(state({oid}, wrong_state)).")
+    assert db.state_of(oid) == "waiting_for_sequencing"
+    assert program.ask(f"retract(state({oid}, S)).")  # unbound: binds+clears
+    assert db.state_of(oid) is None
+
+
+def test_counting_via_setof_like_the_paper(program, db):
+    """Section 8's counting idiom: setof + length."""
+    _mint(program, "tc-1")
+    _mint(program, "tc-2")
+    row = program.first("setof(M, state(M, waiting_for_sequencing), Ms), length(Ms, N).")
+    assert row["N"] == 2
+
+
+def test_instantiation_errors_on_unbound_oids(program):
+    with pytest.raises(InstantiationError):
+        program.solutions("value_of(M, quality, V).")
+    with pytest.raises(InstantiationError):
+        program.solutions("history_step(M, S).")
+
+
+def test_dql_results_lower_lists_to_python(program, db):
+    """Hit lists stored via the API surface as Python lists in DQL rows."""
+    db.define_step_class("blast_search", ["hits"], ["clone"])
+    oid = _mint(program)
+    hits = [{"accession": "gb-1", "score": 10.0}]
+    db.record_step("blast_search", 99, [oid], {"hits": hits})
+    value = program.first(f"value_of({oid}, hits, V).")["V"]
+    assert value == hits

@@ -1,0 +1,135 @@
+"""Unit tests for the buffer pool: LRU, faults, no-steal."""
+
+import pytest
+
+from repro.storage.buffer import BufferPool
+from repro.storage.page import Page, exact_charge
+from repro.storage.stats import StorageStats
+
+
+class _Disk:
+    """Fake disk: serves pages it has seen flushed (or blank ones)."""
+
+    def __init__(self):
+        self.pages: dict[int, Page] = {}
+        self.loads: list[int] = []
+        self.flushes: list[int] = []
+
+    def load(self, page_id: int) -> Page:
+        self.loads.append(page_id)
+        page = self.pages.get(page_id)
+        if page is None:
+            page = Page(page_id, 0)
+            page.dirty = False
+        return page
+
+    def flush(self, page: Page) -> None:
+        self.flushes.append(page.page_id)
+        self.pages[page.page_id] = page
+
+
+def _pool(capacity=3, fault_hook=None):
+    disk = _Disk()
+    stats = StorageStats()
+    pool = BufferPool(capacity, disk.load, disk.flush, stats, fault_hook)
+    return pool, disk, stats
+
+
+def test_capacity_must_be_positive():
+    disk = _Disk()
+    with pytest.raises(ValueError):
+        BufferPool(0, disk.load, disk.flush, StorageStats())
+
+
+def test_miss_counts_fault_hit_does_not():
+    pool, disk, stats = _pool()
+    pool.fetch(1)
+    assert stats.major_faults == 1
+    pool.fetch(1)
+    assert stats.major_faults == 1
+    assert stats.buffer_hits == 1
+
+
+def test_admit_new_is_not_a_fault():
+    pool, _disk, stats = _pool()
+    page = Page(9, 0)
+    pool.admit_new(page)
+    assert stats.major_faults == 0
+    assert pool.fetch(9) is page
+    assert stats.buffer_hits == 1
+
+
+def test_lru_evicts_least_recently_used_clean_page():
+    pool, disk, stats = _pool(capacity=2)
+    pool.fetch(1)
+    pool.fetch(2)
+    pool.fetch(1)       # touch 1; 2 is now LRU
+    pool.fetch(3)       # evicts 2
+    assert pool.is_resident(1)
+    assert not pool.is_resident(2)
+    assert pool.is_resident(3)
+
+
+def test_dirty_pages_are_never_evicted():
+    pool, disk, stats = _pool(capacity=2)
+    a = pool.fetch(1)
+    b = pool.fetch(2)
+    a.dirty = True
+    b.dirty = True
+    pool.fetch(3)  # both candidates dirty: pool grows
+    assert pool.resident_pages == 3
+    assert pool.overflow_high_water >= 1
+    assert not disk.flushes  # no-steal: nothing written early
+
+
+def test_flush_dirty_writes_and_cleans():
+    pool, disk, stats = _pool()
+    page = pool.fetch(1)
+    page.dirty = True
+    written = pool.flush_dirty()
+    assert written == 1
+    assert disk.flushes == [1]
+    assert not page.dirty
+    assert stats.page_writes == 1
+
+
+def test_flush_dirty_shrinks_overflowed_pool():
+    pool, disk, _stats = _pool(capacity=1)
+    pool.fetch(1).dirty = True
+    pool.fetch(2).dirty = True
+    assert pool.resident_pages == 2
+    pool.flush_dirty()
+    assert pool.resident_pages == 1
+
+
+def test_drop_dirty_discards_without_writing():
+    pool, disk, _stats = _pool()
+    page = pool.fetch(1)
+    page.dirty = True
+    dropped = pool.drop_dirty()
+    assert dropped == 1
+    assert not disk.flushes
+    assert not pool.is_resident(1)
+
+
+def test_fault_hook_called_once_per_miss():
+    seen = []
+    pool, _disk, _stats = _pool(fault_hook=lambda page: seen.append(page.page_id))
+    pool.fetch(5)
+    pool.fetch(5)
+    assert seen == [5]
+
+
+def test_refetch_after_eviction_is_second_fault():
+    pool, disk, stats = _pool(capacity=1)
+    pool.fetch(1)
+    pool.fetch(2)  # evicts 1
+    pool.fetch(1)  # fault again
+    assert stats.major_faults == 3
+
+
+def test_clear_empties_pool():
+    pool, _disk, _stats = _pool()
+    pool.fetch(1)
+    pool.clear()
+    assert pool.resident_pages == 0

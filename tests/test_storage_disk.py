@@ -1,0 +1,86 @@
+"""Unit tests for the page file and metadata side file."""
+
+import os
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.disk import PageFile
+from repro.storage.page import PAGE_SIZE
+
+
+def _image(fill: bytes) -> bytes:
+    return fill * (PAGE_SIZE // len(fill))
+
+
+def test_memory_mode_round_trip():
+    disk = PageFile(None)
+    disk.write_page(0, _image(b"a"))
+    disk.write_page(1, _image(b"b"))
+    assert disk.read_page(0) == _image(b"a")
+    assert disk.page_count == 2
+    assert disk.size_bytes == 2 * PAGE_SIZE
+
+
+def test_file_mode_round_trip(tmp_path):
+    path = os.path.join(tmp_path, "pages.db")
+    disk = PageFile(path)
+    disk.write_page(0, _image(b"x"))
+    disk.write_page(3, _image(b"y"))  # sparse write extends the file
+    disk.sync()
+    assert disk.read_page(3) == _image(b"y")
+    assert disk.page_count == 4
+    disk.close()
+    assert os.path.getsize(path) == 4 * PAGE_SIZE
+
+    reopened = PageFile(path)
+    assert reopened.page_count == 4
+    assert reopened.read_page(0) == _image(b"x")
+    reopened.close()
+
+
+def test_wrong_size_image_rejected():
+    disk = PageFile(None)
+    with pytest.raises(StorageError, match="exactly"):
+        disk.write_page(0, b"short")
+
+
+def test_read_beyond_end_rejected():
+    disk = PageFile(None)
+    with pytest.raises(StorageError, match="beyond"):
+        disk.read_page(0)
+
+
+def test_read_unwritten_hole_rejected_in_memory_mode():
+    disk = PageFile(None)
+    disk.write_page(2, _image(b"z"))
+    with pytest.raises(StorageError, match="never written"):
+        disk.read_page(0)
+
+
+def test_corrupt_file_size_rejected(tmp_path):
+    path = os.path.join(tmp_path, "bad.db")
+    with open(path, "wb") as handle:
+        handle.write(b"x" * (PAGE_SIZE + 1))
+    with pytest.raises(StorageError, match="multiple"):
+        PageFile(path)
+
+
+def test_meta_round_trip_memory():
+    disk = PageFile(None)
+    assert disk.read_meta() is None
+    size = disk.write_meta({"roots": {"a": 1}})
+    assert size > 0
+    assert disk.read_meta() == {"roots": {"a": 1}}
+    assert disk.meta_size_bytes == size
+
+
+def test_meta_round_trip_file(tmp_path):
+    path = os.path.join(tmp_path, "pages.db")
+    disk = PageFile(path)
+    disk.write_meta({"k": [1, 2, 3]})
+    disk.close()
+    reopened = PageFile(path)
+    assert reopened.read_meta() == {"k": [1, 2, 3]}
+    reopened.close()
+    assert os.path.exists(path + ".meta")

@@ -1,0 +1,113 @@
+"""Unit tests for the page lock manager (ObjectStore concurrency)."""
+
+import pytest
+
+from repro.errors import ConcurrencyUnsupportedError, LockError
+from repro.storage import ObjectStoreSM, TexasSM
+from repro.storage.locks import LockManager, LockMode
+from repro.storage.stats import StorageStats
+
+
+def test_shared_locks_are_compatible():
+    locks = LockManager()
+    locks.acquire("a", 1, LockMode.SHARED)
+    locks.acquire("b", 1, LockMode.SHARED)
+    assert set(locks.holders(1)) == {"a", "b"}
+
+
+def test_exclusive_conflicts_with_shared():
+    locks = LockManager()
+    locks.acquire("a", 1, LockMode.SHARED)
+    with pytest.raises(LockError):
+        locks.acquire("b", 1, LockMode.EXCLUSIVE)
+
+
+def test_shared_conflicts_with_exclusive():
+    locks = LockManager()
+    locks.acquire("a", 1, LockMode.EXCLUSIVE)
+    with pytest.raises(LockError):
+        locks.acquire("b", 1, LockMode.SHARED)
+
+
+def test_reacquire_is_noop():
+    stats = StorageStats()
+    locks = LockManager(stats)
+    locks.acquire("a", 1, LockMode.SHARED)
+    locks.acquire("a", 1, LockMode.SHARED)
+    assert stats.lock_acquisitions == 1
+
+
+def test_upgrade_when_alone():
+    locks = LockManager()
+    locks.acquire("a", 1, LockMode.SHARED)
+    locks.acquire("a", 1, LockMode.EXCLUSIVE)
+    assert locks.holders(1)["a"] is LockMode.EXCLUSIVE
+
+
+def test_upgrade_blocked_by_other_reader():
+    locks = LockManager()
+    locks.acquire("a", 1, LockMode.SHARED)
+    locks.acquire("b", 1, LockMode.SHARED)
+    with pytest.raises(LockError):
+        locks.acquire("a", 1, LockMode.EXCLUSIVE)
+
+
+def test_exclusive_holder_may_read():
+    locks = LockManager()
+    locks.acquire("a", 1, LockMode.EXCLUSIVE)
+    locks.acquire("a", 1, LockMode.SHARED)  # no downgrade, no error
+    assert locks.holders(1)["a"] is LockMode.EXCLUSIVE
+
+
+def test_release_all_frees_pages():
+    stats = StorageStats()
+    locks = LockManager(stats)
+    locks.acquire("a", 1, LockMode.EXCLUSIVE)
+    locks.acquire("a", 2, LockMode.SHARED)
+    released = locks.release_all("a")
+    assert released == 2
+    assert locks.held_pages("a") == set()
+    locks.acquire("b", 1, LockMode.EXCLUSIVE)  # now free
+
+
+def test_conflict_bumps_wait_counter():
+    stats = StorageStats()
+    locks = LockManager(stats)
+    locks.acquire("a", 1, LockMode.EXCLUSIVE)
+    with pytest.raises(LockError):
+        locks.acquire("b", 1, LockMode.EXCLUSIVE)
+    assert stats.lock_waits == 1
+
+
+# -- the usability difference the paper reports ---------------------------
+
+
+def test_objectstore_admits_many_clients():
+    sm = ObjectStoreSM()
+    sm.attach_client("alice")
+    sm.attach_client("bob")
+    sm.lock_page("alice", 0)
+    sm.lock_page("bob", 0)  # shared: fine
+    sm.unlock_all("alice")
+    sm.detach_client("alice")
+    sm.close()
+
+
+def test_objectstore_detects_write_conflicts():
+    sm = ObjectStoreSM()
+    sm.attach_client("alice")
+    sm.attach_client("bob")
+    sm.lock_page("alice", 0, exclusive=True)
+    with pytest.raises(LockError):
+        sm.lock_page("bob", 0)
+    sm.close()
+
+
+def test_texas_refuses_second_client():
+    sm = TexasSM()
+    sm.attach_client("alice")
+    with pytest.raises(ConcurrencyUnsupportedError):
+        sm.attach_client("bob")
+    sm.detach_client("alice")
+    sm.attach_client("bob")  # after detach it is free again
+    sm.close()

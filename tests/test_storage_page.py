@@ -1,0 +1,128 @@
+"""Unit tests for slotted pages and charge policies."""
+
+import pytest
+
+from repro.errors import PageError, PageOverflowError
+from repro.storage.page import (
+    PAGE_HEADER_BYTES,
+    PAGE_SIZE,
+    SLOT_OVERHEAD_BYTES,
+    Page,
+    exact_charge,
+    power_of_two_charge,
+)
+
+
+def _page() -> Page:
+    return Page(page_id=1, segment_id=0)
+
+
+def test_exact_charge_adds_slot_overhead():
+    assert exact_charge(100) == 100 + SLOT_OVERHEAD_BYTES
+
+
+def test_power_of_two_charge_rounds_up():
+    assert power_of_two_charge(0) == 32
+    assert power_of_two_charge(10) == 32
+    assert power_of_two_charge(100) == 128
+    assert power_of_two_charge(513) == 1024
+
+
+def test_power_of_two_never_below_exact():
+    for size in range(0, 3000, 7):
+        assert power_of_two_charge(size) >= exact_charge(size)
+
+
+def test_insert_read_round_trip():
+    page = _page()
+    slot = page.insert(b"hello", exact_charge(5))
+    assert page.read(slot) == b"hello"
+
+
+def test_slots_are_unique_even_after_delete():
+    page = _page()
+    first = page.insert(b"a", exact_charge(1))
+    page.delete(first)
+    second = page.insert(b"b", exact_charge(1))
+    assert second != first
+
+
+def test_free_space_accounting():
+    page = _page()
+    before = page.free_bytes
+    page.insert(b"x" * 100, exact_charge(100))
+    assert page.free_bytes == before - exact_charge(100)
+    assert before == PAGE_SIZE - PAGE_HEADER_BYTES
+
+
+def test_overflow_rejected():
+    page = _page()
+    with pytest.raises(PageOverflowError):
+        page.insert(b"x" * PAGE_SIZE, exact_charge(PAGE_SIZE))
+
+
+def test_delete_returns_space():
+    page = _page()
+    slot = page.insert(b"x" * 500, exact_charge(500))
+    free_after_insert = page.free_bytes
+    page.delete(slot)
+    assert page.free_bytes == free_after_insert + exact_charge(500)
+    assert page.is_empty
+
+
+def test_read_missing_slot_raises():
+    with pytest.raises(PageError):
+        _page().read(0)
+
+
+def test_delete_missing_slot_raises():
+    with pytest.raises(PageError):
+        _page().delete(3)
+
+
+def test_replace_in_place():
+    page = _page()
+    slot = page.insert(b"short", exact_charge(5))
+    assert page.can_replace(slot, exact_charge(100))
+    page.replace(slot, b"y" * 100, exact_charge(100))
+    assert page.read(slot) == b"y" * 100
+
+
+def test_replace_that_does_not_fit_is_rejected():
+    page = _page()
+    slot = page.insert(b"a", exact_charge(1))
+    page.insert(b"b" * 3000, exact_charge(3000))
+    huge = exact_charge(4000)
+    assert not page.can_replace(slot, huge)
+    with pytest.raises(PageOverflowError):
+        page.replace(slot, b"z" * 4000, huge)
+
+
+def test_disk_image_round_trip():
+    page = _page()
+    slots = [page.insert(f"rec{i}".encode(), exact_charge(5)) for i in range(10)]
+    page.delete(slots[3])
+    image = page.to_bytes()
+    assert len(image) == PAGE_SIZE
+    restored = Page.from_bytes(1, image)
+    assert restored.segment_id == 0
+    assert not restored.dirty
+    assert restored.read(slots[0]) == b"rec0"
+    with pytest.raises(PageError):
+        restored.read(slots[3])
+    assert restored.used_bytes == page.used_bytes
+
+
+def test_from_bytes_rejects_garbage():
+    with pytest.raises(PageError, match="corrupt"):
+        Page.from_bytes(0, b"\xff" * PAGE_SIZE)
+
+
+def test_full_page_still_serializes_within_page_size():
+    """Charge accounting must leave room for the pickle framing."""
+    page = _page()
+    payload = b"z" * 100
+    while page.fits(exact_charge(len(payload))):
+        page.insert(payload, exact_charge(len(payload)))
+    image = page.to_bytes()  # must not raise
+    assert len(image) == PAGE_SIZE

@@ -1,0 +1,153 @@
+"""Tests for checkpointing, crash recovery and vacuum."""
+
+import os
+
+import pytest
+
+from repro.storage import ObjectStoreSM, TexasSM
+from repro.storage.integrity import verify
+
+
+def _crash_and_reopen(cls, path, **kwargs):
+    """Reopen a store whose previous instance was never closed."""
+    return cls(path=path, **kwargs)
+
+
+@pytest.mark.parametrize("cls", [ObjectStoreSM, TexasSM])
+def test_crash_loses_nothing_before_checkpoint(cls, tmp_path):
+    path = os.path.join(tmp_path, "db")
+    sm = cls(path=path, checkpoint_every=1)  # checkpoint every commit
+    oids = []
+    for i in range(10):
+        oids.append(sm.allocate_write({"i": i}))
+        sm.commit()
+    # crash: no close()
+    recovered = _crash_and_reopen(cls, path)
+    for i, oid in enumerate(oids):
+        assert recovered.read(oid) == {"i": i}
+    verify(recovered).raise_if_bad()
+    recovered.close()
+
+
+@pytest.mark.parametrize("cls", [ObjectStoreSM, TexasSM])
+def test_crash_loses_at_most_checkpoint_window(cls, tmp_path):
+    path = os.path.join(tmp_path, "db")
+    sm = cls(path=path, checkpoint_every=5)
+    oids = []
+    for i in range(12):  # checkpoints after commits 5 and 10
+        oids.append(sm.allocate_write({"i": i}))
+        sm.commit()
+    recovered = _crash_and_reopen(cls, path)
+    survivors = [oid for oid in oids if recovered.exists(oid)]
+    assert len(survivors) == 10  # everything up to the last checkpoint
+    assert survivors == oids[:10]
+    recovered.close()
+
+
+def test_crash_without_checkpoints_recovers_to_empty(tmp_path):
+    path = os.path.join(tmp_path, "db")
+    sm = ObjectStoreSM(path=path)  # checkpoint_every=0
+    sm.allocate_write("volatile")
+    sm.commit()
+    recovered = _crash_and_reopen(ObjectStoreSM, path)
+    assert recovered.object_count() == 0
+    recovered.close()
+
+
+def test_vacuum_reclaims_orphans_after_crash(tmp_path):
+    path = os.path.join(tmp_path, "db")
+    sm = ObjectStoreSM(path=path, checkpoint_every=3)
+    for i in range(7):  # checkpoint after 3 and 6; commit 7 orphaned
+        sm.allocate_write({"i": i, "pad": "x" * 200})
+        sm.commit()
+    recovered = _crash_and_reopen(ObjectStoreSM, path)
+    report = verify(recovered)
+    assert not report.ok  # orphan from the lost commit
+    freed = recovered.vacuum_orphans()
+    assert freed >= 1
+    verify(recovered).raise_if_bad()
+    # reclaimed space is reusable
+    oid = recovered.allocate_write({"fresh": True})
+    assert recovered.read(oid) == {"fresh": True}
+    recovered.close()
+
+
+def test_vacuum_on_clean_store_is_a_noop():
+    sm = ObjectStoreSM()
+    for i in range(20):
+        sm.allocate_write(i)
+    assert sm.vacuum_orphans() == 0
+    sm.close()
+
+
+def test_explicit_checkpoint_bounds_loss(tmp_path):
+    path = os.path.join(tmp_path, "db")
+    sm = ObjectStoreSM(path=path)
+    keep = sm.allocate_write("keep")
+    sm.commit()
+    sm.checkpoint()
+    lose = sm.allocate_write("lose")
+    sm.commit()
+    recovered = _crash_and_reopen(ObjectStoreSM, path)
+    assert recovered.read(keep) == "keep"
+    assert not recovered.exists(lose)
+    recovered.close()
+
+
+def test_clean_close_always_persists_everything(tmp_path):
+    path = os.path.join(tmp_path, "db")
+    sm = ObjectStoreSM(path=path)  # no checkpointing at all
+    oid = sm.allocate_write("durable")
+    sm.close()
+    reopened = ObjectStoreSM(path=path)
+    assert reopened.read(oid) == "durable"
+    reopened.close()
+
+
+def test_recover_reconciles_post_checkpoint_churn(tmp_path):
+    """Deletes and moves after the last checkpoint leave dangling
+    directory entries; recover() must drop them and pass verify."""
+    path = str(tmp_path / "churn.db")
+    sm = ObjectStoreSM(path=path, checkpoint_every=1)
+    oids = [sm.allocate_write({"i": i, "pad": "x" * 100}) for i in range(20)]
+    sm.commit()  # checkpoint: all 20 known
+    sm.checkpoint_every = 0  # no more checkpoints
+    sm.delete(oids[3])                          # dangling after crash
+    # fresh goes into page 0's free space (a checkpoint-known page), so
+    # after the crash it is an orphan slot vacuum can actually see;
+    # orphans on post-checkpoint pages are reclaimed by page-id reuse.
+    fresh = sm.allocate_write({"new": True})
+    sm.write(oids[4], {"moved": "y" * 3000})    # moves to a new page
+    sm.commit()
+    # crash
+    recovered = ObjectStoreSM(path=path)
+    report = verify(recovered)
+    assert not report.ok  # the torn state is detectable...
+    outcome = recovered.recover()
+    verify(recovered).raise_if_bad()  # ...and reconcilable
+    assert outcome["dropped_objects"] >= 1
+    assert outcome["vacuumed_slots"] >= 1
+    # untouched objects survived intact
+    for i, oid in enumerate(oids):
+        if i in (3, 4):
+            continue
+        assert recovered.read(oid) == {"i": i, "pad": "x" * 100}
+    assert not recovered.exists(fresh)
+    recovered.close()
+
+
+def test_recover_drops_roots_of_lost_objects(tmp_path):
+    path = str(tmp_path / "roots.db")
+    sm = ObjectStoreSM(path=path, checkpoint_every=1)
+    doomed = sm.allocate_write("doomed")
+    sm.set_root("entry", doomed)
+    sm.commit()  # checkpoint with the root
+    sm.checkpoint_every = 0
+    sm.delete(doomed)
+    sm.commit()
+    recovered = ObjectStoreSM(path=path)
+    outcome = recovered.recover()
+    assert outcome["dropped_roots"] == 1
+    assert recovered.get_root("entry") is None
+    verify(recovered).raise_if_bad()
+    recovered.close()

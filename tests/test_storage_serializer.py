@@ -1,0 +1,80 @@
+"""Unit + property tests for record serialization."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import StorageError
+from repro.storage import serializer
+
+
+class _NotPlain:
+    pass
+
+
+def test_round_trip_scalars():
+    for value in (None, True, False, 0, -5, 3.25, "text", b"bytes"):
+        assert serializer.deserialize(serializer.serialize(value)) == value
+
+
+def test_round_trip_collections():
+    value = {"a": [1, 2, (3, 4)], "b": {"nested": {5, 6}}, 7: "int key"}
+    assert serializer.deserialize(serializer.serialize(value)) == value
+
+
+def test_rejects_class_instances():
+    with pytest.raises(StorageError, match="plain data"):
+        serializer.serialize(_NotPlain())
+
+
+def test_rejects_instances_nested_in_collections():
+    with pytest.raises(StorageError):
+        serializer.serialize({"ok": [1, 2, _NotPlain()]})
+
+
+def test_rejects_instance_dict_keys():
+    with pytest.raises(StorageError):
+        serializer.serialize({(1, _NotPlain()): "x"})
+
+
+def test_rejects_excessive_nesting():
+    deep: list = []
+    current = deep
+    for _ in range(200):
+        inner: list = []
+        current.append(inner)
+        current = inner
+    with pytest.raises(StorageError, match="100 levels"):
+        serializer.serialize(deep)
+
+
+def test_corrupt_payload_raises_storage_error():
+    with pytest.raises(StorageError, match="corrupt"):
+        serializer.deserialize(b"\x00not a pickle")
+
+
+def test_record_size_matches_serialized_length():
+    obj = {"k": "v" * 100}
+    assert serializer.record_size(obj) == len(serializer.serialize(obj))
+
+
+_plain = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**40), max_value=2**40)
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=30)
+    | st.binary(max_size=30),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=20,
+)
+
+
+@given(_plain)
+def test_round_trip_property(obj):
+    assert serializer.deserialize(serializer.serialize(obj)) == obj
+
+
+@given(_plain)
+def test_serialization_is_deterministic(obj):
+    assert serializer.serialize(obj) == serializer.serialize(obj)

@@ -1,0 +1,44 @@
+"""Unit tests for table formatting."""
+
+from repro.util.fmt import format_bytes, format_table
+
+
+def test_format_bytes_small_exact():
+    assert format_bytes(0) == "0 B"
+    assert format_bytes(5123) == "5123 B"
+
+
+def test_format_bytes_scales():
+    assert format_bytes(16_629_760) == "15.86 MiB"
+    assert format_bytes(2 * 1024**3) == "2.00 GiB"
+
+
+def test_table_alignment():
+    out = format_table(
+        ["name", "value"],
+        [["a", 1], ["long-name", 22]],
+        align_right=(1,),
+    )
+    lines = out.splitlines()
+    assert lines[0].startswith("name")
+    # right-aligned numeric column: the ones digit lines up
+    assert lines[2].rstrip().endswith("1")
+    assert lines[3].rstrip().endswith("22")
+    assert lines[2].index("1") == lines[3].index("2") + 1
+
+
+def test_table_title_and_separator():
+    out = format_table(["h"], [["x"]], title="My Table")
+    lines = out.splitlines()
+    assert lines[0] == "My Table"
+    assert set(lines[2]) == {"-"}
+
+
+def test_table_pads_ragged_rows():
+    out = format_table(["a", "b", "c"], [["1"], ["1", "2", "3"]])
+    assert len(out.splitlines()) == 4  # header + sep + 2 rows
+
+
+def test_table_empty_rows():
+    out = format_table(["only", "headers"], [])
+    assert "only" in out and "headers" in out

@@ -1,0 +1,57 @@
+"""Unit tests for the oid allocator."""
+
+import pytest
+
+from repro.util.ids import OidAllocator
+
+
+def test_first_id_is_start():
+    assert OidAllocator().allocate() == 1
+    assert OidAllocator(start=100).allocate() == 100
+
+
+def test_ids_strictly_increase():
+    alloc = OidAllocator()
+    ids = [alloc.allocate() for _ in range(1000)]
+    assert ids == sorted(ids)
+    assert len(set(ids)) == 1000
+
+
+def test_allocate_many_reserves_consecutive_range():
+    alloc = OidAllocator()
+    block = alloc.allocate_many(5)
+    assert list(block) == [1, 2, 3, 4, 5]
+    assert alloc.allocate() == 6
+
+
+def test_allocate_many_zero_is_empty():
+    alloc = OidAllocator()
+    assert list(alloc.allocate_many(0)) == []
+    assert alloc.allocate() == 1
+
+
+def test_allocate_many_negative_rejected():
+    with pytest.raises(ValueError):
+        OidAllocator().allocate_many(-1)
+
+
+def test_negative_start_rejected():
+    with pytest.raises(ValueError):
+        OidAllocator(start=-1)
+
+
+def test_restore_moves_forward_only():
+    alloc = OidAllocator()
+    alloc.allocate()
+    alloc.allocate()
+    alloc.restore(100)
+    assert alloc.allocate() == 100
+    alloc.restore(5)  # stale mark: ignored
+    assert alloc.allocate() == 101
+
+
+def test_high_water_reflects_next_id():
+    alloc = OidAllocator()
+    assert alloc.high_water == 1
+    alloc.allocate()
+    assert alloc.high_water == 2

@@ -1,0 +1,141 @@
+"""Tests for the workflow text DSL."""
+
+import pytest
+
+from repro.errors import InvalidWorkflowError
+from repro.workflow.dsl import load_workflow, parse_workflow, render_workflow
+from repro.workflow.genome import build_genome_spec
+from repro.workflow.spec import ValueKind
+
+TOY = """
+# a two-step toy pipeline
+workflow toy
+
+material widget key wd initial raw -- a thing to polish
+material box key bx initial empty
+
+step polish involves widget -- make it shiny
+    attr shine : float
+    attr operator : identifier
+
+step pack involves widget, box creates box
+    attr weight : integer
+
+transition raw -> polished via polish fail 0.1 -> raw test test:shiny_enough
+transition polished -> packed via pack
+transition empty -> full via fill_box
+
+step fill_box involves box
+    attr count : integer
+
+terminal packed, full
+"""
+
+
+def test_parse_toy_workflow():
+    spec = parse_workflow(TOY)
+    assert spec.name == "toy"
+    assert [m.class_name for m in spec.materials] == ["widget", "box"]
+    widget = spec.material("widget")
+    assert widget.key_prefix == "wd"
+    assert widget.initial_state == "raw"
+    assert widget.description == "a thing to polish"
+
+    polish = spec.step("polish")
+    assert polish.attribute_names == ("shine", "operator")
+    assert polish.attribute("shine").kind is ValueKind.FLOAT
+    assert polish.description == "make it shiny"
+
+    pack = spec.step("pack")
+    assert pack.involves_classes == ("widget", "box")
+    assert pack.creates == ("box",)
+
+    first = spec.transitions[0]
+    assert first.fail_probability == 0.1
+    assert first.fail_state == "raw"
+    assert first.test == "test:shiny_enough"
+    assert spec.terminal_states == ("packed", "full")
+
+
+def test_load_workflow_validates():
+    graph = load_workflow(TOY)
+    assert graph.is_terminal("packed")
+    assert graph.transition_for("raw").step == "polish"
+
+
+def test_parse_errors_carry_line_numbers():
+    with pytest.raises(InvalidWorkflowError, match="line 2"):
+        parse_workflow("workflow w\nbogus directive here\n")
+
+
+def test_missing_workflow_name():
+    with pytest.raises(InvalidWorkflowError, match="workflow"):
+        parse_workflow("material m key m initial s\n")
+
+
+def test_unknown_attribute_kind():
+    text = """workflow w
+material m key m initial s
+step go involves m
+    attr x : complex128
+transition s -> t via go
+terminal t
+"""
+    with pytest.raises(InvalidWorkflowError, match="unknown attribute kind"):
+        parse_workflow(text)
+
+
+def test_attr_outside_step():
+    with pytest.raises(InvalidWorkflowError, match="outside"):
+        parse_workflow("workflow w\nattr x : float\n")
+
+
+def test_step_requires_involves():
+    with pytest.raises(InvalidWorkflowError, match="involves"):
+        parse_workflow("workflow w\nstep lonely\n")
+
+
+def test_malformed_transition():
+    with pytest.raises(InvalidWorkflowError, match="transition"):
+        parse_workflow("workflow w\ntransition a to b\n")
+
+
+def test_fail_clause_requires_state():
+    with pytest.raises(InvalidWorkflowError):
+        parse_workflow("workflow w\ntransition a -> b via s fail 0.5\n")
+
+
+def test_comments_and_blank_lines_ignored():
+    spec = parse_workflow("""
+# leading comment
+workflow commented   # not a trailing comment — name is 'commented'
+
+material m key m initial s
+step go involves m
+transition s -> t via go
+terminal t
+""")
+    assert spec.name == "commented"
+
+
+def test_render_round_trips_the_genome_workflow():
+    original = build_genome_spec()
+    text = render_workflow(original)
+    reparsed = parse_workflow(text)
+    assert reparsed.name == original.name
+    assert [m.class_name for m in reparsed.materials] == [
+        m.class_name for m in original.materials
+    ]
+    assert [s.class_name for s in reparsed.steps] == [
+        s.class_name for s in original.steps
+    ]
+    for original_step in original.steps:
+        reparsed_step = reparsed.step(original_step.class_name)
+        assert reparsed_step.attribute_names == original_step.attribute_names
+        assert reparsed_step.involves_classes == original_step.involves_classes
+        assert reparsed_step.creates == original_step.creates
+    assert reparsed.transitions == original.transitions
+    assert reparsed.terminal_states == original.terminal_states
+    # and the reparsed spec validates into the same graph
+    graph = load_workflow(text)
+    assert graph.has_cycles()

@@ -1,0 +1,156 @@
+"""Unit tests for the workflow execution engine."""
+
+import pytest
+
+from repro.labbase import LabBase
+from repro.storage import OStoreMM
+from repro.util.rng import DeterministicRng
+from repro.workflow import WorkflowEngine, WorkflowGraph, default_value_factory
+from repro.workflow.genome import (
+    ARRIVED,
+    CLONE_DONE,
+    WAITING_FOR_TCLONE,
+    build_genome_workflow,
+)
+from repro.workflow.spec import (
+    AttributeSpec,
+    MaterialSpec,
+    StepSpec,
+    Transition,
+    ValueKind,
+    WorkflowSpec,
+)
+
+
+def _engine(seed=3):
+    db = LabBase(OStoreMM())
+    graph = build_genome_workflow()
+    engine = WorkflowEngine(db, graph, DeterministicRng(seed))
+    engine.install_schema()
+    return db, engine
+
+
+def test_install_schema_registers_everything():
+    db, _engine_ = _engine()
+    assert set(db.catalog.material_classes) == {"clone", "tclone", "gel"}
+    assert "determine_sequence" in db.catalog.step_classes
+
+
+def test_create_material_enters_initial_state():
+    db, engine = _engine()
+    oid = engine.create_material("clone")
+    assert db.state_of(oid) == ARRIVED
+    assert db.material(oid)["key"].startswith("clone-")
+
+
+def test_keys_are_sequential_per_class():
+    _db, engine = _engine()
+    keys = [engine.next_key("clone") for _ in range(3)]
+    assert keys == ["clone-000001", "clone-000002", "clone-000003"]
+    assert engine.next_key("tclone") == "tc-000001"
+
+
+def test_advance_records_step_and_moves_state():
+    db, engine = _engine()
+    oid = engine.create_material("clone")
+    event = engine.advance(oid)
+    assert event is not None
+    assert event.step_class == "receive_clone"
+    assert event.from_state == ARRIVED and event.to_state == WAITING_FOR_TCLONE
+    assert db.state_of(oid) == WAITING_FOR_TCLONE
+    assert db.history_length(oid) == 1
+    assert db.has_attribute(oid, "insert_length")
+
+
+def test_advance_on_terminal_material_returns_none():
+    db, engine = _engine()
+    oid = engine.create_material("clone")
+    events = engine.run_to_completion(oid)
+    assert db.state_of(oid) == CLONE_DONE
+    assert engine.advance(oid) is None
+    assert events[-1].step_class == "incorporate"
+
+
+def test_run_to_completion_creates_tclones():
+    db, engine = _engine()
+    oid = engine.create_material("clone")
+    events = engine.run_to_completion(oid)
+    created = [c for event in events for c in event.created]
+    assert created, "associate_tclone must create tclones"
+    assert all(db.material(c)["class_name"] == "tclone" for c in created)
+    # every created material is involved in its creating step
+    for event in events:
+        step = db.step(event.step_oid)
+        for child in event.created:
+            assert child in step["involves"]
+
+
+def test_counters_track_activity():
+    _db, engine = _engine()
+    oid = engine.create_material("clone")
+    engine.run_to_completion(oid)
+    counters = engine.counters
+    assert counters.steps >= 5
+    assert counters.completed >= 1
+    assert counters.per_step["receive_clone"] == 1
+
+
+def test_pump_executes_across_states():
+    db, engine = _engine()
+    for _ in range(3):
+        engine.create_material("clone")
+    executed = engine.pump(1000)
+    assert executed > 0
+    # pump to quiescence: all clones done
+    assert len(db.in_state(CLONE_DONE)) == 3
+
+
+def test_pump_respects_budget():
+    _db, engine = _engine()
+    engine.create_material("clone")
+    assert engine.pump(2) == 2
+
+
+def test_deterministic_given_seed():
+    db_a, engine_a = _engine(seed=5)
+    db_b, engine_b = _engine(seed=5)
+    for engine in (engine_a, engine_b):
+        engine.create_material("clone")
+        engine.pump(50)
+    assert engine_a.counters.per_step == engine_b.counters.per_step
+    assert db_a.count_materials("tclone") == db_b.count_materials("tclone")
+
+
+def test_failure_edge_requeues():
+    """With fail probability 1.0 the material must bounce back."""
+    spec = WorkflowSpec(
+        name="bounce",
+        materials=[MaterialSpec("m", "m", initial_state="trying")],
+        steps=[StepSpec("attempt", (AttributeSpec("n", ValueKind.INTEGER),), ("m",))],
+        transitions=[
+            Transition(
+                "attempt", "trying", "done",
+                fail_state="trying", fail_probability=1.0,
+            )
+        ],
+        terminal_states=("done",),
+    )
+    db = LabBase(OStoreMM())
+    engine = WorkflowEngine(db, WorkflowGraph(spec), DeterministicRng(1))
+    engine.install_schema()
+    oid = engine.create_material("m")
+    event = engine.advance(oid)
+    assert event.failed
+    assert db.state_of(oid) == "trying"
+    assert engine.counters.failures == 1
+    with pytest.raises(Exception):
+        engine.run_to_completion(oid, max_steps=10)  # never terminates
+
+
+def test_default_value_factory_covers_all_kinds():
+    rng = DeterministicRng(2)
+    step = StepSpec("s", (), ("m",))
+    for kind in ValueKind:
+        attribute = AttributeSpec("x", kind)
+        value = default_value_factory(step, attribute, "key-1", rng)
+        assert value is not None

@@ -1,0 +1,88 @@
+"""Tests pinning the genome-mapping workflow (paper Appendices A/B)."""
+
+from repro.labbase import LabBase
+from repro.storage import OStoreMM
+from repro.util.rng import DeterministicRng
+from repro.workflow import WorkflowEngine
+from repro.workflow.genome import (
+    MORE_TCLONES_PROBABILITY,
+    SEQUENCING_FAILURE_PROBABILITY,
+    build_genome_spec,
+    build_genome_workflow,
+)
+
+
+def test_attested_vocabulary_present():
+    """Names quoted in the paper's text must exist verbatim."""
+    spec = build_genome_spec()
+    step_names = {step.class_name for step in spec.steps}
+    assert {"associate_tclone", "determine_sequence", "assemble_sequence"} <= step_names
+    material_names = {material.class_name for material in spec.materials}
+    assert {"clone", "tclone"} <= material_names
+    states = {t.from_state for t in spec.transitions} | {
+        t.to_state for t in spec.transitions
+    }
+    assert "waiting_for_sequencing" in states
+    assert "waiting_for_incorporation" in states
+    tests = {t.test for t in spec.transitions if t.test}
+    assert "test:sequencing_ok" in tests
+
+
+def test_graph_validates_and_has_requeue_cycle():
+    graph = build_genome_workflow()
+    assert graph.has_cycles()  # the sequencing re-queue edge
+    assert graph.longest_acyclic_path() >= 4
+
+
+def test_blast_step_produces_hit_list_attribute():
+    spec = build_genome_spec()
+    blast = spec.step("blast_search")
+    assert blast.attribute("hits").kind.value == "hit_list"
+
+
+def test_fan_out_statistics_match_design():
+    """Mean tclones per clone ~= 1/(1-p); sequencing failures ~= p."""
+    db = LabBase(OStoreMM())
+    engine = WorkflowEngine(db, build_genome_workflow(), DeterministicRng(123))
+    engine.install_schema()
+    clones = 60
+    for _ in range(clones):
+        engine.create_material("clone")
+    engine.pump(1_000_000)  # run dry
+
+    tclones = db.count_materials("tclone")
+    mean_fanout = tclones / clones
+    expected = 1.0 / (1.0 - MORE_TCLONES_PROBABILITY)
+    assert expected * 0.6 < mean_fanout < expected * 1.6, mean_fanout
+
+    sequencing_runs = db.count_steps("determine_sequence")
+    failures = engine.counters.failures - (
+        db.count_steps("associate_tclone") - clones
+    )  # subtract fan-out "failures" (they re-queue the clone by design)
+    failure_rate = failures / sequencing_runs
+    assert failure_rate < SEQUENCING_FAILURE_PROBABILITY * 3
+
+
+def test_every_clone_completes_and_carries_final_attributes():
+    db = LabBase(OStoreMM())
+    engine = WorkflowEngine(db, build_genome_workflow(), DeterministicRng(5))
+    engine.install_schema()
+    oids = [engine.create_material("clone") for _ in range(5)]
+    engine.pump(1_000_000)
+    for oid in oids:
+        assert db.state_of(oid) == "clone_done"
+        attrs = db.current_attributes(oid)
+        assert "contig" in attrs      # assemble_sequence ran
+        assert "hits" in attrs        # blast_search ran
+        assert "map_position" in attrs  # incorporate ran
+
+
+def test_gels_all_reach_terminal_state():
+    db = LabBase(OStoreMM())
+    engine = WorkflowEngine(db, build_genome_workflow(), DeterministicRng(5))
+    engine.install_schema()
+    for _ in range(4):
+        engine.create_material("clone")
+    engine.pump(1_000_000)
+    assert db.count_materials("gel") == len(db.in_state("gel_done"))
+    assert db.count_materials("gel") >= db.count_materials("tclone")

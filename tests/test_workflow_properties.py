@@ -1,0 +1,112 @@
+"""Property-based tests for workflows: DSL round-trip and liveness."""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.labbase import LabBase
+from repro.storage import OStoreMM
+from repro.util.rng import DeterministicRng
+from repro.workflow import WorkflowEngine, WorkflowGraph
+from repro.workflow.dsl import parse_workflow, render_workflow
+from repro.workflow.spec import (
+    AttributeSpec,
+    MaterialSpec,
+    StepSpec,
+    Transition,
+    ValueKind,
+    WorkflowSpec,
+)
+
+_name = st.text(string.ascii_lowercase, min_size=1, max_size=8)
+
+
+@st.composite
+def linear_workflows(draw) -> WorkflowSpec:
+    """Random linear pipelines with optional bounded-retry back edges.
+
+    States s0 -> s1 -> ... -> sN (terminal); each edge may carry a
+    failure branch back to the previous state (a re-queue cycle).
+    """
+    n_states = draw(st.integers(2, 6))
+    states = [f"s{i}" for i in range(n_states)]
+    n_attrs = draw(st.integers(0, 3))
+    steps = []
+    transitions = []
+    for i in range(n_states - 1):
+        attrs = tuple(
+            AttributeSpec(f"a{i}_{j}", draw(st.sampled_from(list(ValueKind))))
+            for j in range(n_attrs)
+        )
+        steps.append(StepSpec(f"step{i}", attrs, ("m",)))
+        fail = draw(st.booleans()) and i > 0
+        transitions.append(
+            Transition(
+                f"step{i}",
+                states[i],
+                states[i + 1],
+                fail_state=states[i - 1] if fail else None,
+                fail_probability=draw(st.floats(0.05, 0.5)) if fail else 0.0,
+                test=f"test:t{i}" if fail else None,
+            )
+        )
+    return WorkflowSpec(
+        name=draw(_name),
+        materials=[MaterialSpec("m", "m", initial_state=states[0])],
+        steps=steps,
+        transitions=transitions,
+        terminal_states=(states[-1],),
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(spec=linear_workflows())
+def test_dsl_round_trip_property(spec):
+    """render -> parse is the identity on every generated workflow."""
+    reparsed = parse_workflow(render_workflow(spec))
+    assert reparsed.name == spec.name
+    assert reparsed.materials == spec.materials
+    assert reparsed.transitions == spec.transitions
+    assert reparsed.terminal_states == spec.terminal_states
+    assert [s.class_name for s in reparsed.steps] == [
+        s.class_name for s in spec.steps
+    ]
+    for original_step in spec.steps:
+        assert reparsed.step(original_step.class_name).attributes == \
+            original_step.attributes
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(spec=linear_workflows(), seed=st.integers(0, 2**16))
+def test_generated_workflows_validate_and_terminate(spec, seed):
+    """Every generated workflow validates, and (since failure
+    probabilities are < 1) every material eventually terminates."""
+    graph = WorkflowGraph(spec)  # must validate
+    db = LabBase(OStoreMM())
+    engine = WorkflowEngine(db, graph, DeterministicRng(seed))
+    engine.install_schema()
+    oid = engine.create_material("m")
+    events = engine.run_to_completion(oid, max_steps=2000)
+    assert db.state_of(oid) == spec.terminal_states[0]
+    assert len(events) >= len(spec.steps)
+    # the audit trail recorded every executed step
+    assert db.history_length(oid) == len(events)
+
+
+@settings(max_examples=25, deadline=None)
+@given(spec=linear_workflows(), seed=st.integers(0, 2**16))
+def test_engine_determinism_property(spec, seed):
+    """Same workflow + same seed => identical event streams."""
+    def run():
+        db = LabBase(OStoreMM())
+        engine = WorkflowEngine(db, WorkflowGraph(spec), DeterministicRng(seed))
+        engine.install_schema()
+        oid = engine.create_material("m")
+        events = engine.run_to_completion(oid, max_steps=2000)
+        return [(e.step_class, e.from_state, e.to_state, e.failed)
+                for e in events]
+
+    assert run() == run()

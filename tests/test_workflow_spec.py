@@ -1,0 +1,54 @@
+"""Unit tests for workflow specification objects."""
+
+import pytest
+
+from repro.errors import InvalidWorkflowError
+from repro.workflow.spec import (
+    AttributeSpec,
+    MaterialSpec,
+    StepSpec,
+    Transition,
+    ValueKind,
+    WorkflowSpec,
+)
+
+
+def _step(name="s", attrs=("a",)):
+    return StepSpec(
+        class_name=name,
+        attributes=tuple(AttributeSpec(a, ValueKind.INTEGER) for a in attrs),
+        involves_classes=("m",),
+    )
+
+
+def test_step_attribute_names():
+    step = _step(attrs=("x", "y"))
+    assert step.attribute_names == ("x", "y")
+    assert step.attribute("x").kind is ValueKind.INTEGER
+    with pytest.raises(InvalidWorkflowError):
+        step.attribute("zzz")
+
+
+def test_transition_validation():
+    Transition("s", "a", "b")  # plain edge is fine
+    Transition("s", "a", "b", fail_state="a", fail_probability=0.5)
+    with pytest.raises(InvalidWorkflowError, match="outside"):
+        Transition("s", "a", "b", fail_state="a", fail_probability=1.5)
+    with pytest.raises(InvalidWorkflowError, match="without fail state"):
+        Transition("s", "a", "b", fail_probability=0.5)
+
+
+def test_workflow_spec_lookups():
+    spec = WorkflowSpec(
+        name="w",
+        materials=[MaterialSpec("m", "m", initial_state="start")],
+        steps=[_step()],
+        transitions=[Transition("s", "start", "end")],
+        terminal_states=("end",),
+    )
+    assert spec.material("m").key_prefix == "m"
+    assert spec.step("s").class_name == "s"
+    with pytest.raises(InvalidWorkflowError):
+        spec.material("nope")
+    with pytest.raises(InvalidWorkflowError):
+        spec.step("nope")
