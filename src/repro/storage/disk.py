@@ -95,29 +95,51 @@ class PageFile:
         return None if self.path is None else self.path + ".meta"
 
     def write_meta(self, meta: dict) -> int:
-        """Persist the metadata blob; returns its size in bytes."""
+        """Persist the metadata blob atomically; returns its size in bytes.
+
+        The blob is written to a ``.meta.tmp`` side file, fsync'd, then
+        renamed over the ``.meta`` file, so a crash at any point leaves
+        either the old blob or the new one — never a truncated blob that
+        would make the store look freshly created (or fail to unpickle)
+        on reopen.
+        """
         blob = pickle.dumps(meta, protocol=4)
         meta_path = self._meta_path()
         if meta_path is None:
             self._mem_meta = blob
         else:
-            with open(meta_path, "wb") as handle:
+            tmp_path = meta_path + ".tmp"
+            with open(tmp_path, "wb") as handle:
                 handle.write(blob)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, meta_path)
         self._meta_size = len(blob)
         return len(blob)
 
     def read_meta(self) -> dict | None:
-        """Load the metadata blob, or None if none was ever written."""
+        """Load the metadata blob, or None if none was ever written.
+
+        A blob that exists but does not unpickle raises
+        :class:`StorageError` — a damaged store must fail loudly rather
+        than masquerade as a fresh one.
+        """
         meta_path = self._meta_path()
         if meta_path is None:
             blob = getattr(self, "_mem_meta", None)
             if blob is None:
                 return None
+        else:
+            if not os.path.exists(meta_path):
+                return None
+            with open(meta_path, "rb") as handle:
+                blob = handle.read()
+        try:
             return pickle.loads(blob)
-        if not os.path.exists(meta_path):
-            return None
-        with open(meta_path, "rb") as handle:
-            return pickle.loads(handle.read())
+        except Exception as exc:
+            raise StorageError(
+                f"{meta_path or '<memory>'}: corrupt metadata blob: {exc}"
+            ) from exc
 
     @property
     def meta_size_bytes(self) -> int:

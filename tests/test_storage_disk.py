@@ -84,3 +84,46 @@ def test_meta_round_trip_file(tmp_path):
     assert reopened.read_meta() == {"k": [1, 2, 3]}
     reopened.close()
     assert os.path.exists(path + ".meta")
+
+
+def test_meta_write_is_atomic(tmp_path):
+    """A rewrite never leaves a temp file behind, and the blob on disk is
+    always complete (written via tmp + fsync + rename)."""
+    path = os.path.join(tmp_path, "pages.db")
+    disk = PageFile(path)
+    disk.write_meta({"v": 1})
+    disk.write_meta({"v": 2, "pad": "x" * 10_000})
+    disk.close()
+    assert not os.path.exists(path + ".meta.tmp")
+    reopened = PageFile(path)
+    assert reopened.read_meta() == {"v": 2, "pad": "x" * 10_000}
+    reopened.close()
+
+
+def test_truncated_meta_fails_loudly_not_as_fresh_store(tmp_path):
+    """Regression: a crash mid-meta-write used to leave a truncated blob
+    whose unpickling error escaped as a raw pickle exception.  A damaged
+    blob must raise StorageError (and never read as 'no metadata')."""
+    path = os.path.join(tmp_path, "pages.db")
+    disk = PageFile(path)
+    disk.write_meta({"roots": {"a": 1}})
+    disk.close()
+    with open(path + ".meta", "r+b") as handle:  # tear the blob in half
+        blob = handle.read()
+        handle.truncate(len(blob) // 2)
+    reopened = PageFile(path)
+    with pytest.raises(StorageError, match="corrupt metadata"):
+        reopened.read_meta()
+    reopened.close()
+
+
+def test_interrupted_meta_rewrite_keeps_old_blob(tmp_path):
+    """A stale .meta.tmp (crash before rename) must not shadow or damage
+    the committed blob."""
+    path = os.path.join(tmp_path, "pages.db")
+    disk = PageFile(path)
+    disk.write_meta({"committed": True})
+    with open(path + ".meta.tmp", "wb") as handle:
+        handle.write(b"\x80\x04partial")  # torn half-written temp file
+    assert disk.read_meta() == {"committed": True}
+    disk.close()
