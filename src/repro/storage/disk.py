@@ -23,6 +23,9 @@ import pickle
 from repro.errors import StorageError
 from repro.storage.page import PAGE_SIZE
 
+#: A hole page: the image a never-written page reads back as in file mode.
+_ZERO_PAGE = b"\0" * PAGE_SIZE
+
 
 class PageFile:
     """Page-granular storage backed by a real file or by memory."""
@@ -52,7 +55,13 @@ class PageFile:
         return self._page_count * PAGE_SIZE
 
     def read_page(self, page_id: int) -> bytes:
-        """Read one page image; raises if the page was never written."""
+        """Read one page image; raises if the page was never written.
+
+        Both backends raise the same ``StorageError`` for a hole page:
+        in file mode a never-written page in the zero-filled gap left by
+        a past-the-end write reads back as all zeroes, which no real
+        page image can be (serialized pages start with pickle framing).
+        """
         if page_id >= self._page_count:
             raise StorageError(f"page {page_id} beyond end of store")
         if self._file is None:
@@ -64,6 +73,8 @@ class PageFile:
         image = self._file.read(PAGE_SIZE)
         if len(image) != PAGE_SIZE:
             raise StorageError(f"short read on page {page_id}")
+        if image == _ZERO_PAGE:
+            raise StorageError(f"page {page_id} was never written")
         return image
 
     def write_page(self, page_id: int, image: bytes) -> None:
@@ -74,6 +85,11 @@ class PageFile:
         if self._file is None:
             self._mem[page_id] = image
         else:
+            if page_id > self._page_count:
+                # Writing past the end: zero-fill the gap explicitly so
+                # hole pages are well-defined on every filesystem.
+                self._file.seek(self._page_count * PAGE_SIZE)
+                self._file.write(b"\0" * ((page_id - self._page_count) * PAGE_SIZE))
             self._file.seek(page_id * PAGE_SIZE)
             self._file.write(image)
         if page_id >= self._page_count:

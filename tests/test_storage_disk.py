@@ -58,6 +58,39 @@ def test_read_unwritten_hole_rejected_in_memory_mode():
         disk.read_page(0)
 
 
+def test_read_unwritten_hole_rejected_in_file_mode(tmp_path):
+    """Regression: a past-the-end write used to leave hole pages that
+    failed with a 'short read' (or decoded as garbage) instead of the
+    memory backend's 'never written'.  Both backends must now raise the
+    same StorageError, and the gap must be explicitly zero-filled."""
+    path = os.path.join(tmp_path, "holes.db")
+    disk = PageFile(path)
+    disk.write_page(3, _image(b"z"))
+    disk.sync()
+    assert os.path.getsize(path) == 4 * PAGE_SIZE
+    for hole in (0, 1, 2):
+        with pytest.raises(StorageError, match="never written"):
+            disk.read_page(hole)
+    assert disk.read_page(3) == _image(b"z")
+    disk.close()
+    # holes survive reopen with the same behaviour
+    reopened = PageFile(path)
+    with pytest.raises(StorageError, match="never written"):
+        reopened.read_page(1)
+    reopened.close()
+
+
+def test_hole_page_can_be_filled_later(tmp_path):
+    path = os.path.join(tmp_path, "holes.db")
+    disk = PageFile(path)
+    disk.write_page(2, _image(b"c"))
+    disk.write_page(0, _image(b"a"))  # backfill a hole
+    assert disk.read_page(0) == _image(b"a")
+    with pytest.raises(StorageError, match="never written"):
+        disk.read_page(1)
+    disk.close()
+
+
 def test_corrupt_file_size_rejected(tmp_path):
     path = os.path.join(tmp_path, "bad.db")
     with open(path, "wb") as handle:
