@@ -19,7 +19,7 @@ retry.
 
 from __future__ import annotations
 
-from repro.errors import ConcurrencyUnsupportedError, LabBaseError
+from repro.errors import ConcurrencyUnsupportedError, LabBaseError, LockError
 from repro.labbase.database import LabBase
 
 
@@ -56,11 +56,17 @@ class Session:
         results=None,
         version_id=None,
     ) -> int:
-        """U1 under exclusive locks on every involved material."""
+        """U1 under exclusive locks on every involved material.
+
+        Locks are acquired in oid order regardless of the caller's
+        ``involves`` order, and a conflict partway releases the locks
+        this call already took — two sessions grabbing overlapping
+        material sets can no longer livelock on retry or leak locks.
+        The step record keeps the caller's ``involves`` order.
+        """
         self._check()
         involved = [int(oid) for oid in involves]
-        for material_oid in involved:
-            self.lock_material(material_oid, exclusive=True)
+        self._manager.lock_objects(self.name, involved, exclusive=True)
         return self.db.record_step(
             class_name, valid_time, involved, results, version_id
         )
@@ -119,12 +125,47 @@ class SessionManager:
         self._sessions[name] = session
         return session
 
-    def lock_object(self, client: str, oid: int, exclusive: bool) -> None:
+    def lock_object(self, client: str, oid: int, exclusive: bool) -> list[int]:
+        """Lock one object's page(s); returns the newly acquired page ids.
+
+        All-or-nothing: a conflict on a later page of a chunked object
+        releases the pages this call already took before re-raising.
+        """
         if not self._sm.supports_concurrency:
             # single-client store: attach succeeded, locks are moot
+            return []
+        newly: list[int] = []
+        try:
+            for page_id in self._pages_of(oid):
+                if self._sm.lock_page(client, page_id, exclusive=exclusive):
+                    newly.append(page_id)
+        except LockError:
+            self._unlock_pages(client, newly)
+            raise
+        return newly
+
+    def lock_objects(self, client: str, oids, exclusive: bool) -> None:
+        """Lock several objects in globally consistent (oid) order.
+
+        Sorting gives every session the same acquisition order, so two
+        sessions locking ``[A, B]`` and ``[B, A]`` contend on the same
+        first object instead of deadlocking/livelocking on each other's
+        partial grabs; on conflict every lock newly acquired by this
+        call is released before the LockError propagates.
+        """
+        if not self._sm.supports_concurrency:
             return
-        for page_id in self._pages_of(oid):
-            self._sm.lock_page(client, page_id, exclusive=exclusive)
+        newly: list[int] = []
+        try:
+            for oid in sorted(set(int(oid) for oid in oids)):
+                newly.extend(self.lock_object(client, oid, exclusive))
+        except LockError:
+            self._unlock_pages(client, newly)
+            raise
+
+    def _unlock_pages(self, client: str, page_ids: list[int]) -> None:
+        for page_id in page_ids:
+            self._sm.unlock_page(client, page_id)
 
     def _pages_of(self, oid: int) -> list[int]:
         entry = self._sm._entry(oid)

@@ -48,18 +48,23 @@ class LockManager:
         self._client_pages: dict[str, set[int]] = {}
         self._stats = stats or StorageStats()
 
-    def acquire(self, client: str, page_id: int, mode: LockMode) -> None:
+    def acquire(self, client: str, page_id: int, mode: LockMode) -> bool:
         """Grant a lock or raise :class:`LockError` on conflict.
 
         Re-acquiring a held lock is a no-op; shared -> exclusive upgrade
-        is granted when no other client holds the page.
+        is granted when no other client holds the page.  Returns True
+        when the client did not hold the page before this call (so the
+        caller knows which locks to give back if a multi-page
+        acquisition fails partway), False for re-acquires and upgrades.
         """
         lock = self._locks.setdefault(page_id, _PageLock())
         held = lock.holders.get(client)
         if held is mode or (held is LockMode.EXCLUSIVE and mode is LockMode.SHARED):
-            return
+            return False
         if not lock.compatible(client, mode):
             self._stats.lock_waits += 1
+            if not lock.holders:
+                del self._locks[page_id]
             raise LockError(
                 f"client {client!r} cannot lock page {page_id} in mode "
                 f"{mode.value}: held by {sorted(h for h in lock.holders if h != client)}"
@@ -67,6 +72,22 @@ class LockManager:
         lock.holders[client] = mode
         self._client_pages.setdefault(client, set()).add(page_id)
         self._stats.lock_acquisitions += 1
+        return held is None
+
+    def release(self, client: str, page_id: int) -> bool:
+        """Release one page lock; returns True if the client held it."""
+        pages = self._client_pages.get(client)
+        if pages is None or page_id not in pages:
+            return False
+        pages.discard(page_id)
+        if not pages:
+            del self._client_pages[client]
+        lock = self._locks.get(page_id)
+        if lock is not None:
+            lock.holders.pop(client, None)
+            if not lock.holders:
+                del self._locks[page_id]
+        return True
 
     def release_all(self, client: str) -> int:
         """Release every lock the client holds (end of transaction)."""

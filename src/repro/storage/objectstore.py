@@ -60,13 +60,22 @@ class ObjectStoreSM(PagedStorageManager):
         self._clients.discard(client)
         self._lock_manager.release_all(client)
 
-    def lock_page(self, client: str, page_id: int, exclusive: bool = False) -> None:
-        """Acquire a page lock on behalf of an attached client."""
+    def lock_page(self, client: str, page_id: int, exclusive: bool = False) -> bool:
+        """Acquire a page lock on behalf of an attached client.
+
+        Returns True when the lock is newly acquired (see
+        :meth:`LockManager.acquire`).
+        """
         self._check_open()
         if client not in self._clients:
             raise StorageError(f"client {client!r} is not attached")
         mode = LockMode.EXCLUSIVE if exclusive else LockMode.SHARED
-        self._lock_manager.acquire(client, page_id, mode)
+        return self._lock_manager.acquire(client, page_id, mode)
+
+    def unlock_page(self, client: str, page_id: int) -> bool:
+        """Release one page lock (backing out a failed multi-page grab)."""
+        self._check_open()
+        return self._lock_manager.release(client, page_id)
 
     def unlock_all(self, client: str) -> int:
         """Release a client's locks (transaction end)."""

@@ -101,6 +101,75 @@ def test_context_manager_releases():
         other.lock_material(oid, exclusive=True)
 
 
+def _two_materials_on_distinct_pages(db, clock):
+    """Create materials until two of them live on different pages."""
+    sm = db.storage
+    oids = [db.create_material("clone", f"m-{i}", clock.tick())
+            for i in range(80)]
+    first_page = sm._entry(oids[0])[0]
+    for oid in oids[1:]:
+        if sm._entry(oid)[0] != first_page:
+            return oids[0], oid
+    raise AssertionError("expected materials to span at least two pages")
+
+
+def test_record_step_locks_in_oid_order_no_livelock():
+    """Regression: two sessions locking [A, B] vs [B, A] used to grab
+    their first material each, fail on the second, and leak the first —
+    a livelock on retry.  Sorted acquisition makes the loser fail on its
+    FIRST lock, holding nothing, so the winner's retry succeeds."""
+    db, clock, _oid = _lab(ObjectStoreSM())
+    a, b = _two_materials_on_distinct_pages(db, clock)
+    manager = SessionManager(db)
+    s1 = manager.open_session("s1")
+    s2 = manager.open_session("s2")
+
+    s1.record_step("s", clock.tick(), [a, b], {"a": 1})   # s1 holds both
+    with pytest.raises(LockError):
+        s2.record_step("s", clock.tick(), [b, a], {"a": 2})  # reversed order
+    # the loser leaked nothing: it holds no pages at all
+    assert db.storage.lock_manager.held_pages("s2") == set()
+    # so the winner can keep going, and after release the loser's retry wins
+    s1.record_step("s", clock.tick(), [b, a], {"a": 3})
+    s1.release_locks()
+    s2.record_step("s", clock.tick(), [b, a], {"a": 4})
+    s2.release_locks()
+    assert db.most_recent(a, "a") == 4
+
+
+def test_failed_multi_lock_releases_only_newly_acquired():
+    """A partial acquisition must give back what it just took — but not
+    locks the session already held before the call."""
+    db, clock, _oid = _lab(ObjectStoreSM())
+    a, b = _two_materials_on_distinct_pages(db, clock)
+    manager = SessionManager(db)
+    s1 = manager.open_session("s1")
+    s2 = manager.open_session("s2")
+
+    s1.lock_material(a, exclusive=True)          # s1 pre-holds material a
+    s2.lock_material(b, exclusive=True)          # s2 pre-holds material b
+    held_before = db.storage.lock_manager.held_pages("s1")
+    with pytest.raises(LockError):
+        s1.record_step("s", clock.tick(), [a, b], {"a": 1})  # blocked on b
+    # s1 keeps the lock it held before the failed call, gains nothing new
+    assert db.storage.lock_manager.held_pages("s1") == held_before
+    # and b's holder is untouched
+    assert "s2" in db.storage.lock_manager.holders(
+        db.storage._entry(b)[0]
+    )
+
+
+def test_record_step_preserves_caller_involves_order():
+    """Sorting is for lock acquisition only; the stored step must keep
+    the caller's involves order."""
+    db, clock, _oid = _lab(ObjectStoreSM())
+    a, b = _two_materials_on_distinct_pages(db, clock)
+    manager = SessionManager(db)
+    with manager.open_session("s") as session:
+        step_oid = session.record_step("s", clock.tick(), [b, a], {"a": 1})
+    assert db.step(step_oid)["involves"] == [b, a]
+
+
 def test_same_session_may_rewrite_its_own_lock():
     db, clock, oid = _lab(ObjectStoreSM())
     manager = SessionManager(db)

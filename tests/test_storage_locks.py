@@ -70,6 +70,33 @@ def test_release_all_frees_pages():
     locks.acquire("b", 1, LockMode.EXCLUSIVE)  # now free
 
 
+def test_acquire_reports_newly_acquired():
+    locks = LockManager()
+    assert locks.acquire("a", 1, LockMode.SHARED) is True
+    assert locks.acquire("a", 1, LockMode.SHARED) is False      # re-acquire
+    assert locks.acquire("a", 1, LockMode.EXCLUSIVE) is False   # upgrade
+    assert locks.acquire("a", 2, LockMode.EXCLUSIVE) is True
+
+
+def test_release_single_page():
+    locks = LockManager()
+    locks.acquire("a", 1, LockMode.EXCLUSIVE)
+    locks.acquire("a", 2, LockMode.EXCLUSIVE)
+    assert locks.release("a", 1) is True
+    assert locks.release("a", 1) is False       # already released
+    assert locks.release("a", 99) is False      # never held
+    assert locks.held_pages("a") == {2}
+    locks.acquire("b", 1, LockMode.EXCLUSIVE)   # page 1 is free again
+
+
+def test_failed_acquire_leaves_no_empty_lock_entry():
+    locks = LockManager()
+    locks.acquire("a", 1, LockMode.EXCLUSIVE)
+    with pytest.raises(LockError):
+        locks.acquire("b", 1, LockMode.EXCLUSIVE)
+    assert locks.held_pages("b") == set()
+
+
 def test_conflict_bumps_wait_counter():
     stats = StorageStats()
     locks = LockManager(stats)
