@@ -125,14 +125,31 @@ class HistoryStore:
 
         Returns True if found.  The step record itself is deleted by the
         caller once every involved material is unlinked.
+
+        A node whose ``step_oids`` list empties is unlinked from the
+        chain (the predecessor — or ``history_head`` — is repointed at
+        its successor) and its record deleted: retractions must not
+        permanently lengthen the Q7 full-history walk or leak
+        cold-segment objects.
         """
+        prev_oid = model.NIL
+        prev: dict | None = None
         node_oid = material["history_head"]
         while node_oid != model.NIL:
             node = self._sm.read(node_oid)
             if step_oid in node["step_oids"]:
                 node["step_oids"].remove(step_oid)
-                self._sm.write(node_oid, node)
                 material["history_len"] -= 1
+                if node["step_oids"]:
+                    self._sm.write(node_oid, node)
+                elif prev is None:
+                    material["history_head"] = node["next"]
+                    self._sm.delete(node_oid)
+                else:
+                    prev["next"] = node["next"]
+                    self._sm.write(prev_oid, prev)
+                    self._sm.delete(node_oid)
                 return True
+            prev_oid, prev = node_oid, node
             node_oid = node["next"]
         return False

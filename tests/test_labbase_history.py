@@ -112,3 +112,126 @@ def test_steps_yields_records():
     pairs = list(history.steps(material))
     assert pairs[0][0] == oid
     assert pairs[0][1]["valid_time"] == 3
+
+
+# -- emptied-node reclamation (retraction must not bloat the chain) ---------
+
+
+def _chain_node_oids(sm, material):
+    node_oids = []
+    node_oid = material["history_head"]
+    while node_oid != model.NIL:
+        node_oids.append(node_oid)
+        node_oid = sm.read(node_oid)["next"]
+    return node_oids
+
+
+def test_remove_step_unlinks_emptied_middle_node():
+    """Regression: draining a chunk node left it linked in the chain
+    forever, inflating every Q7 full-history walk and leaking a
+    cold-segment object."""
+    sm, history, material = _setup(chunk=2)
+    oids = [_add_step(sm, history, material, t, []) for t in range(6)]
+    before = _chain_node_oids(sm, material)
+    assert len(before) == 3
+    # drain the middle node (steps 2 and 3 share it)
+    assert history.remove_step(material, oids[2])
+    assert history.remove_step(material, oids[3])
+    after = _chain_node_oids(sm, material)
+    assert len(after) == 2
+    drained = (set(before) - set(after)).pop()
+    assert not sm.exists(drained)  # the node record is freed, not leaked
+    assert list(history.step_oids(material)) == [
+        oids[5], oids[4], oids[1], oids[0]
+    ]
+
+
+def test_remove_step_unlinks_emptied_head_node():
+    sm, history, material = _setup(chunk=2)
+    oids = [_add_step(sm, history, material, t, []) for t in range(3)]
+    head_before = material["history_head"]
+    assert history.remove_step(material, oids[2])  # head holds only step 2
+    assert material["history_head"] != head_before
+    assert not sm.exists(head_before)
+    assert list(history.step_oids(material)) == [oids[1], oids[0]]
+
+
+def test_removing_every_step_leaves_an_empty_chain():
+    sm, history, material = _setup(chunk=2)
+    oids = [_add_step(sm, history, material, t, []) for t in range(5)]
+    node_oids = _chain_node_oids(sm, material)
+    for oid in oids:
+        assert history.remove_step(material, oid)
+    assert material["history_head"] == model.NIL
+    assert material["history_len"] == 0
+    assert list(history.step_oids(material)) == []
+    for node_oid in node_oids:
+        assert not sm.exists(node_oid)  # no node leaked
+    # the chain still works after being emptied
+    fresh = _add_step(sm, history, material, 99, [])
+    assert list(history.step_oids(material)) == [fresh]
+
+
+def test_append_after_middle_unlink_keeps_chain_sound():
+    sm, history, material = _setup(chunk=1)  # one step per node
+    oids = [_add_step(sm, history, material, t, []) for t in range(4)]
+    assert history.remove_step(material, oids[1])
+    later = _add_step(sm, history, material, 10, [])
+    assert list(history.step_oids(material)) == [
+        later, oids[3], oids[2], oids[0]
+    ]
+    assert material["history_len"] == 4
+
+
+# -- property test: rebuilt index always agrees with the history scan -------
+
+
+def test_rebuild_recent_matches_scan_after_random_churn():
+    """After any sequence of appends and retractions, rebuild_recent
+    must agree with scan_most_recent for every attribute: same valid
+    time, same winning step, same value."""
+    import random
+
+    rng = random.Random(1996)
+    attributes = ["q", "r", "s", "t"]
+    sm, history, material = _setup(chunk=3)
+    live_steps: list[int] = []
+
+    def check():
+        history.rebuild_recent(material)
+        for attr in attributes:
+            scanned = history.scan_most_recent(material, attr)
+            entry = model.recent_entry(material, attr)
+            if scanned is None:
+                assert entry is None, f"{attr}: index has entry, scan does not"
+                continue
+            valid_time, step_oid, value = scanned
+            assert entry is not None, f"{attr}: scan found value, index lost it"
+            assert entry[0] == valid_time
+            assert entry[1] == step_oid
+            got = entry[3] if entry[2] else model.step_result(
+                sm.read(entry[1]), attr
+            )
+            assert got == value
+
+    for round_no in range(120):
+        if live_steps and rng.random() < 0.35:
+            victim = live_steps.pop(rng.randrange(len(live_steps)))
+            assert history.remove_step(material, victim)
+            sm.delete(victim)
+        else:
+            results = [
+                (attr, rng.randrange(1000))
+                for attr in attributes
+                if rng.random() < 0.5
+            ]
+            # occasionally a big, non-inlineable value
+            if rng.random() < 0.2:
+                results.append(("q", "x" * 100))
+            oid = _add_step(
+                sm, history, material, rng.randrange(50), results
+            )
+            live_steps.append(oid)
+        if round_no % 10 == 9:
+            check()
+    check()
