@@ -54,6 +54,15 @@ class LockError(StorageError):
     """A page-lock request could not be granted."""
 
 
+class InjectedCrashError(StorageError):
+    """A deterministic fault injector killed the simulated disk.
+
+    Raised by ``repro.storage.faultinject.FaultyPageFile`` at its
+    configured write point and on every access afterwards — a dead
+    process cannot keep serving I/O.
+    """
+
+
 class ConcurrencyUnsupportedError(StorageError):
     """The storage manager does not support concurrent clients.
 

@@ -42,6 +42,15 @@ class Catalog:
 
     # -- persistence -----------------------------------------------------------
 
+    def reload(self) -> None:
+        """Re-read the catalog from the store's roots.
+
+        Needed after crash recovery, which may have dropped the catalog
+        record (then a fresh one is bootstrapped) or rolled it back to
+        an older checkpointed image.
+        """
+        self._load_or_bootstrap()
+
     def _load_or_bootstrap(self) -> None:
         root = self._sm.get_root(CATALOG_ROOT)
         if root is None:

@@ -91,6 +91,25 @@ class LabBase:
         return self._sm
 
     # ------------------------------------------------------------------
+    # crash consistency
+    # ------------------------------------------------------------------
+
+    def verify_storage(self):
+        """Integrity report for the underlying store (never modifies it)."""
+        return self._sm.verify()
+
+    def recover_storage(self) -> dict[str, int]:
+        """Repair the store after a crash-reopen, then reload the catalog.
+
+        Recovery may drop objects the catalog (as read at construction)
+        still references, or drop the catalog record itself; reloading
+        re-reads it from the repaired roots — or bootstraps a fresh one.
+        """
+        outcome = self._sm.recover()
+        self.catalog.reload()
+        return outcome
+
+    # ------------------------------------------------------------------
     # schema (U4)
     # ------------------------------------------------------------------
 

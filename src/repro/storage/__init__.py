@@ -19,6 +19,7 @@ LabBase (and any application) runs unchanged over each.
 from repro.storage.base import PagedStorageManager, StorageManager
 from repro.storage.buffer import DEFAULT_POOL_PAGES, BufferPool
 from repro.storage.clustered import TexasTCSM
+from repro.storage.faultinject import FaultInjector, FaultyPageFile
 from repro.storage.locks import LockManager, LockMode
 from repro.storage.memstore import MainMemorySM, OStoreMM, TexasMM
 from repro.storage.objectstore import ObjectStoreSM
@@ -49,6 +50,8 @@ __all__ = [
     "StorageStats",
     "verify",
     "IntegrityReport",
+    "FaultInjector",
+    "FaultyPageFile",
     "segment_stats",
     "segment_report",
     "SegmentStats",

@@ -145,6 +145,27 @@ class StorageManager(abc.ABC):
     def size_bytes(self) -> int:
         """Total database size on disk (the paper's size column)."""
 
+    # -- crash consistency -----------------------------------------------------
+
+    def verify(self) -> "IntegrityReport":
+        """Check on-disk and in-memory invariants; see ``integrity``.
+
+        The default (for non-paged managers, which hold no disk state
+        that could tear) reports success.
+        """
+        from repro.storage.integrity import IntegrityReport
+
+        return IntegrityReport(manager=self.name, problems=[])
+
+    def recover(self) -> dict[str, int]:
+        """Repair state after a crash-reopen.
+
+        The default is a no-op: managers without persistent state have
+        nothing to reconcile.  Returns the same counter dict as the
+        paged implementation so drivers can report uniformly.
+        """
+        return {"dropped_objects": 0, "dropped_roots": 0, "vacuumed_slots": 0}
+
     # -- convenience ---------------------------------------------------------
 
     def object_count(self) -> int:
@@ -160,18 +181,28 @@ class PagedStorageManager(StorageManager):
         buffer_pages: int = DEFAULT_POOL_PAGES,
         charge_policy: ChargePolicy = exact_charge,
         checkpoint_every: int = 0,
+        fault_injector=None,
     ) -> None:
         """``checkpoint_every``: persist metadata every N commits
         (0 = only on close/explicit checkpoint).  Data pages are always
         flushed at commit; the metadata checkpoint bounds how much a
         crash (close() never called) can lose — see ``recover_info``.
+
+        ``fault_injector``: a ``repro.storage.faultinject.FaultInjector``
+        that makes the disk layer crash deterministically mid-workload
+        (crash-consistency testing).
         """
         self.stats = StorageStats()
         self.checkpoint_every = checkpoint_every
         self._commits_since_checkpoint = 0
         self._charge = charge_policy
         self._chunk_payload_bytes = self._compute_chunk_payload(charge_policy)
-        self._disk = PageFile(path)
+        if fault_injector is not None:
+            from repro.storage.faultinject import FaultyPageFile
+
+            self._disk = FaultyPageFile(path, fault_injector)
+        else:
+            self._disk = PageFile(path)
         self._pool = BufferPool(
             capacity_pages=buffer_pages,
             load_page=self._load_page,
@@ -199,14 +230,32 @@ class PagedStorageManager(StorageManager):
             self._segments: dict[str, Segment] = {}
             self._segment_by_id: dict[int, Segment] = {}
             self._make_segment(DEFAULT_SEGMENT, "default placement")
+            self._meta_epoch = 0
+            self._disk.epoch = 1
+            if self._disk.page_count:
+                # Pages exist but no checkpoint ever landed: the store
+                # died before its first metadata write.
+                self._open_problems = [
+                    f"page file holds {self._disk.page_count} pages but no "
+                    "metadata checkpoint exists"
+                ]
+            else:
+                self._open_problems: list[str] = []
         else:
             self._restore_meta(meta)
+            # Resume stamping in the epoch after the checkpointed one,
+            # and record anything on disk that contradicts the
+            # checkpoint: torn pages, or pages flushed by commits the
+            # checkpoint never heard of (epoch beyond the blob's).
+            self._disk.epoch = self._meta_epoch + 1
+            self._open_problems = self._disk.epoch_issues(self._meta_epoch)
 
     # -- metadata persistence ---------------------------------------------------
 
     def _meta(self) -> dict:
         return {
             "manager": self.name,
+            "epoch": self._disk.epoch,
             "oid_high": self._oid_alloc.high_water,
             "page_high": self._page_alloc.high_water,
             "directory": dict(self._directory),
@@ -215,6 +264,7 @@ class PagedStorageManager(StorageManager):
         }
 
     def _restore_meta(self, meta: dict) -> None:
+        self._meta_epoch = meta.get("epoch", 0)
         self._oid_alloc = OidAllocator(start=meta["oid_high"])
         self._page_alloc = OidAllocator(start=meta["page_high"])
         self._directory = dict(meta["directory"])
@@ -461,8 +511,7 @@ class PagedStorageManager(StorageManager):
         if self.checkpoint_every:
             self._commits_since_checkpoint += 1
             if self._commits_since_checkpoint >= self.checkpoint_every:
-                self._disk.write_meta(self._meta())
-                self._disk.sync()
+                self._write_checkpoint()
                 self._commits_since_checkpoint = 0
 
     def abort(self) -> None:
@@ -499,8 +548,25 @@ class PagedStorageManager(StorageManager):
 
     def _flush_all(self) -> None:
         self._pool.flush_dirty()
+        self._write_checkpoint()
+
+    def _write_checkpoint(self) -> None:
+        """Persist metadata and advance the commit epoch.
+
+        The blob records the epoch its page images were stamped with;
+        subsequent page writes get the next epoch, so a later crash
+        leaves those pages detectably "from the future" relative to
+        this checkpoint.
+        """
         self._disk.write_meta(self._meta())
         self._disk.sync()
+        self._meta_epoch = self._disk.epoch
+        self._disk.epoch += 1
+
+    @property
+    def commit_epoch(self) -> int:
+        """Epoch of the last durable metadata checkpoint (0 = none)."""
+        return self._meta_epoch
 
     # -- accounting ------------------------------------------------------------------
 
@@ -513,6 +579,12 @@ class PagedStorageManager(StorageManager):
     def buffer_resident_pages(self) -> int:
         return self._pool.resident_pages
 
+    def verify(self):
+        """Full integrity check; see ``repro.storage.integrity.verify``."""
+        from repro.storage import integrity
+
+        return integrity.verify(self)
+
     def recover(self) -> dict[str, int]:
         """Reconcile state after a crash-reopen from a rolling checkpoint.
 
@@ -522,13 +594,28 @@ class PagedStorageManager(StorageManager):
         deleted or moved (dangling), and pages may hold records the old
         directory never heard of (orphans).  There is no write-ahead
         log to redo from — the 1996 stores offered none either — so
-        recovery reconciles to the checkpoint state: dangling entries
-        and their roots are dropped, orphan slots are vacuumed.
+        recovery reconciles to the checkpoint state: torn pages are
+        discarded, dangling entries and their roots are dropped, orphan
+        slots are vacuumed, and a fresh checkpoint makes the repaired
+        state durable.
 
         Returns ``{"dropped_objects": ..., "dropped_roots": ...,
         "vacuumed_slots": ...}``.  After recover(), ``verify`` passes.
         """
         self._check_open()
+        # Torn pages first: an interrupted write left garbage that every
+        # later phase (directory probing, vacuum) would trip over.  The
+        # page's contents are unrecoverable — discard it back to a hole
+        # and let the directory reconciliation below drop whatever
+        # referenced it.
+        for page_id in range(self._disk.page_count):
+            try:
+                self._disk.read_page_epoch(page_id)
+            except StorageError:
+                self._pool.drop(page_id)
+                self._disk.clear_page(page_id)
+                for segment in self._segments.values():
+                    segment.remove_page(page_id)
         dropped = 0
         for oid in list(self._directory):
             entry = self._directory[oid]
@@ -549,6 +636,11 @@ class PagedStorageManager(StorageManager):
                 del self._roots[name]
                 dropped_roots += 1
         vacuumed = self.vacuum_orphans()
+        # The repaired state supersedes whatever the crash left behind:
+        # checkpoint it so the epoch bookkeeping matches the disk again,
+        # and clear the problems recorded at open.
+        self._flush_all()
+        self._open_problems = []
         return {
             "dropped_objects": dropped,
             "dropped_roots": dropped_roots,

@@ -100,9 +100,15 @@ class BufferPool:
     # -- write-back -------------------------------------------------------------
 
     def flush_dirty(self) -> int:
-        """Write every dirty resident page to disk; returns pages written."""
+        """Write every dirty resident page to disk; returns pages written.
+
+        Pages go out in page-id order, not LRU order, so a given
+        workload always issues the same write sequence — deterministic
+        fault injection (crash after the Nth write) depends on it.
+        """
         written = 0
-        for page in self._pages.values():
+        for page_id in sorted(self._pages):
+            page = self._pages[page_id]
             if page.dirty:
                 self._flush_page(page)
                 page.dirty = False

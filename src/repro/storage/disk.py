@@ -13,18 +13,45 @@ file.  Real persistent stores keep this mapping in swizzled virtual
 addresses (Texas) or internal B-trees (ObjectStore); modelling it as a
 side file keeps both simulated managers identical in this respect while
 still counting the bytes toward database size.
+
+Crash consistency
+-----------------
+
+Two mechanisms make a crash detectable instead of silently corrupting:
+
+* The metadata blob is written atomically (temp file + fsync + rename),
+  so a crash mid-write leaves either the old blob or the new one.
+* Every page image carries a 16-byte trailer in its zero-padding:
+  a magic marker, the **commit epoch** current when the page was
+  written, and a CRC-32 of the page body.  The storage manager stamps
+  the same epoch into the metadata blob at each checkpoint, so on
+  reopen a page "from the future" (flushed by a commit the checkpoint
+  never heard of) or a torn page (checksum mismatch, e.g. half a write)
+  is detected — see ``repro.storage.integrity``.
+
+The trailer is disk-level bookkeeping: callers write images whose last
+``PAGE_TRAILER_BYTES`` are zero (``Page.to_bytes`` guarantees this) and
+read back exactly what they wrote, trailer bytes zeroed again.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import struct
+import zlib
 
 from repro.errors import StorageError
-from repro.storage.page import PAGE_SIZE
+from repro.storage.page import PAGE_SIZE, PAGE_TRAILER_BYTES
 
 #: A hole page: the image a never-written page reads back as in file mode.
 _ZERO_PAGE = b"\0" * PAGE_SIZE
+
+#: Trailer layout: 4-byte magic, then packed (epoch: u64, crc32: u32).
+PAGE_TRAILER_MAGIC = b"LBF1"
+_EPOCH_CRC = struct.Struct("<QI")
+
+_BODY_BYTES = PAGE_SIZE - PAGE_TRAILER_BYTES
 
 
 class PageFile:
@@ -35,6 +62,9 @@ class PageFile:
         self._mem: dict[int, bytes] = {}
         self._page_count = 0
         self._file = None
+        #: Commit epoch stamped into the trailer of every page written.
+        #: The storage manager advances it at each metadata checkpoint.
+        self.epoch = 1
         if path is not None:
             # "x+b" would refuse reopening; support both create and reopen.
             mode = "r+b" if os.path.exists(path) else "w+b"
@@ -54,46 +84,134 @@ class PageFile:
     def size_bytes(self) -> int:
         return self._page_count * PAGE_SIZE
 
+    # -- trailer plumbing -----------------------------------------------------
+
+    def _stamp(self, image: bytes) -> bytes:
+        """Install the commit-epoch trailer in the image's reserve bytes."""
+        body = image[:_BODY_BYTES]
+        return body + PAGE_TRAILER_MAGIC + _EPOCH_CRC.pack(
+            self.epoch, zlib.crc32(body)
+        )
+
+    @staticmethod
+    def _check_image(page_id: int, raw: bytes) -> tuple[bytes, int]:
+        """Validate a stamped image; returns (caller image, epoch).
+
+        Raises :class:`StorageError` for a missing trailer or a checksum
+        mismatch — the signatures of a torn or interrupted write.
+        """
+        body, trailer = raw[:_BODY_BYTES], raw[_BODY_BYTES:]
+        if trailer[:4] != PAGE_TRAILER_MAGIC:
+            raise StorageError(
+                f"page {page_id} has no valid trailer (torn or corrupt write)"
+            )
+        epoch, crc = _EPOCH_CRC.unpack(trailer[4:])
+        if zlib.crc32(body) != crc:
+            raise StorageError(f"page {page_id} is torn (checksum mismatch)")
+        return body + b"\0" * PAGE_TRAILER_BYTES, epoch
+
+    def _raw_image(self, page_id: int) -> bytes | None:
+        """The stamped on-disk image, or None for a never-written hole."""
+        if page_id >= self._page_count:
+            raise StorageError(f"page {page_id} beyond end of store")
+        if self._file is None:
+            return self._mem.get(page_id)
+        self._file.seek(page_id * PAGE_SIZE)
+        raw = self._file.read(PAGE_SIZE)
+        if len(raw) != PAGE_SIZE:
+            raise StorageError(f"short read on page {page_id}")
+        if raw == _ZERO_PAGE:
+            return None
+        return raw
+
+    def _put_image(self, page_id: int, stamped: bytes) -> None:
+        """Backend write of a full stamped image (no validation)."""
+        if self._file is None:
+            self._mem[page_id] = stamped
+        else:
+            if page_id > self._page_count:
+                # Writing past the end: zero-fill the gap explicitly so
+                # hole pages are well-defined on every filesystem.
+                self._file.seek(self._page_count * PAGE_SIZE)
+                self._file.write(
+                    b"\0" * ((page_id - self._page_count) * PAGE_SIZE)
+                )
+            self._file.seek(page_id * PAGE_SIZE)
+            self._file.write(stamped)
+        if page_id >= self._page_count:
+            self._page_count = page_id + 1
+
+    # -- page I/O -------------------------------------------------------------
+
     def read_page(self, page_id: int) -> bytes:
         """Read one page image; raises if the page was never written.
 
         Both backends raise the same ``StorageError`` for a hole page:
         in file mode a never-written page in the zero-filled gap left by
-        a past-the-end write reads back as all zeroes, which no real
-        page image can be (serialized pages start with pickle framing).
+        a past-the-end write reads back as all zeroes, which no stamped
+        page image can be.  A page that fails trailer validation (torn
+        write) also raises rather than returning garbage.
         """
-        if page_id >= self._page_count:
-            raise StorageError(f"page {page_id} beyond end of store")
-        if self._file is None:
-            image = self._mem.get(page_id)
-            if image is None:
-                raise StorageError(f"page {page_id} was never written")
-            return image
-        self._file.seek(page_id * PAGE_SIZE)
-        image = self._file.read(PAGE_SIZE)
-        if len(image) != PAGE_SIZE:
-            raise StorageError(f"short read on page {page_id}")
-        if image == _ZERO_PAGE:
+        raw = self._raw_image(page_id)
+        if raw is None:
             raise StorageError(f"page {page_id} was never written")
+        image, _epoch = self._check_image(page_id, raw)
         return image
+
+    def read_page_epoch(self, page_id: int) -> int | None:
+        """The commit epoch a page was written at, or None for a hole.
+
+        Raises :class:`StorageError` when the page is torn.
+        """
+        raw = self._raw_image(page_id)
+        if raw is None:
+            return None
+        _image, epoch = self._check_image(page_id, raw)
+        return epoch
 
     def write_page(self, page_id: int, image: bytes) -> None:
         if len(image) != PAGE_SIZE:
             raise StorageError(
                 f"page image must be exactly {PAGE_SIZE} bytes, got {len(image)}"
             )
-        if self._file is None:
-            self._mem[page_id] = image
-        else:
-            if page_id > self._page_count:
-                # Writing past the end: zero-fill the gap explicitly so
-                # hole pages are well-defined on every filesystem.
-                self._file.seek(self._page_count * PAGE_SIZE)
-                self._file.write(b"\0" * ((page_id - self._page_count) * PAGE_SIZE))
-            self._file.seek(page_id * PAGE_SIZE)
-            self._file.write(image)
+        if image[_BODY_BYTES:] != b"\0" * PAGE_TRAILER_BYTES:
+            raise StorageError(
+                f"page {page_id}: the last {PAGE_TRAILER_BYTES} bytes are "
+                "reserved for the commit-epoch trailer and must be zero"
+            )
+        self._put_image(page_id, self._stamp(image))
+
+    def clear_page(self, page_id: int) -> None:
+        """Reset a page to never-written (recovery discards torn pages)."""
         if page_id >= self._page_count:
-            self._page_count = page_id + 1
+            return
+        if self._file is None:
+            self._mem.pop(page_id, None)
+        else:
+            self._file.seek(page_id * PAGE_SIZE)
+            self._file.write(_ZERO_PAGE)
+
+    def epoch_issues(self, max_epoch: int) -> list[str]:
+        """Scan every page for torn images and epochs beyond ``max_epoch``.
+
+        Used on reopen (against the checkpoint's epoch) to detect
+        commits the metadata never heard of, and by ``verify`` (against
+        the current epoch) to detect torn pages.
+        """
+        issues: list[str] = []
+        for page_id in range(self._page_count):
+            try:
+                epoch = self.read_page_epoch(page_id)
+            except StorageError as exc:
+                issues.append(str(exc))
+                continue
+            if epoch is not None and epoch > max_epoch:
+                issues.append(
+                    f"page {page_id} stamped commit epoch {epoch} > "
+                    f"checkpoint epoch {max_epoch} (commits after the last "
+                    "checkpoint, or a stale metadata blob)"
+                )
+        return issues
 
     def sync(self) -> None:
         """Flush file buffers (no-op in memory mode)."""

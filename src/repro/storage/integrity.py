@@ -15,7 +15,12 @@ I4  every occupied slot is referenced by exactly one directory entry
 I5  each page's ``used_bytes`` equals header + sum of its charges;
 I6  every page belongs to exactly one segment's page list, and the
     page's ``segment_id`` agrees;
-I7  every root names a live oid.
+I7  every root names a live oid;
+I8  no unresolved problems were recorded when the store was opened
+    (a stale metadata checkpoint or torn pages found on reopen —
+    cleared only by ``recover()``);
+I9  every on-disk page passes trailer validation (magic + checksum)
+    and carries a commit epoch no newer than the store's current one.
 """
 
 from __future__ import annotations
@@ -31,6 +36,7 @@ from repro.storage.page import PAGE_HEADER_BYTES
 class IntegrityReport:
     """Outcome of a verification pass."""
 
+    manager: str = ""
     objects_checked: int = 0
     pages_checked: int = 0
     problems: list[str] = field(default_factory=list)
@@ -51,7 +57,7 @@ class IntegrityReport:
 
 def verify(sm: PagedStorageManager) -> IntegrityReport:
     """Run all integrity checks; never modifies the store."""
-    report = IntegrityReport()
+    report = IntegrityReport(manager=sm.name)
 
     # collect every location referenced by the directory
     referenced: dict[tuple[int, int], int] = {}
@@ -131,5 +137,15 @@ def verify(sm: PagedStorageManager) -> IntegrityReport:
     for name, oid in sm._roots.items():
         if oid not in sm._directory:
             report.fail(f"I7: root {name!r} names dead oid {oid}")
+
+    # I8: unresolved crash evidence found when the store was opened
+    # (stale checkpoint, torn pages).  Only recover() clears these.
+    for problem in getattr(sm, "_open_problems", ()):
+        report.fail(f"I8: {problem}")
+
+    # I9: live disk scan — no torn page, no page stamped with a commit
+    # epoch beyond the store's current one.
+    for problem in sm._disk.epoch_issues(sm._disk.epoch):
+        report.fail(f"I9: {problem}")
 
     return report

@@ -36,12 +36,14 @@ class ObjectStoreSM(PagedStorageManager):
         path: str | None = None,
         buffer_pages: int = DEFAULT_POOL_PAGES,
         checkpoint_every: int = 0,
+        fault_injector=None,
     ) -> None:
         super().__init__(
             path=path,
             buffer_pages=buffer_pages,
             charge_policy=exact_charge,
             checkpoint_every=checkpoint_every,
+            fault_injector=fault_injector,
         )
         self._lock_manager = LockManager(self.stats)
         self._clients: set[str] = set()

@@ -22,6 +22,11 @@ PAGE_SIZE = 4096
 PAGE_HEADER_BYTES = 64
 SLOT_OVERHEAD_BYTES = 16
 
+#: Bytes at the end of every page image reserved for the disk layer's
+#: commit-epoch trailer (magic + epoch + checksum; see repro.storage.disk).
+#: Page serialization must leave them zero.
+PAGE_TRAILER_BYTES = 16
+
 #: Usable payload capacity of a page under exact charging.
 PAGE_CAPACITY = PAGE_SIZE - PAGE_HEADER_BYTES
 
@@ -152,10 +157,11 @@ class Page:
             (self.segment_id, self._next_slot, self._records, self._charges),
             protocol=4,
         )
-        if len(body) > PAGE_SIZE:
+        if len(body) > PAGE_SIZE - PAGE_TRAILER_BYTES:
             raise PageError(
                 f"page {self.page_id}: serialized image {len(body)} B exceeds "
-                f"page size {PAGE_SIZE} B (charge accounting bug)"
+                f"page size {PAGE_SIZE} B minus the {PAGE_TRAILER_BYTES} B "
+                "trailer reserve (charge accounting bug)"
             )
         return body + b"\0" * (PAGE_SIZE - len(body))
 

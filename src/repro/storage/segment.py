@@ -38,6 +38,13 @@ class Segment:
     def add_page(self, page_id: int) -> None:
         self.page_ids.append(page_id)
 
+    def remove_page(self, page_id: int) -> None:
+        """Forget a page entirely (crash recovery discards torn pages)."""
+        if page_id in self._free_candidates:
+            self._free_candidates.discard(page_id)
+        if page_id in self.page_ids:
+            self.page_ids.remove(page_id)
+
     def note_free_space(self, page_id: int, free_bytes: int) -> None:
         """Record that a page gained free space (after a delete)."""
         if free_bytes >= REUSE_THRESHOLD_BYTES:

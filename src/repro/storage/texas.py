@@ -44,12 +44,14 @@ class TexasSM(PagedStorageManager):
         path: str | None = None,
         buffer_pages: int = DEFAULT_POOL_PAGES,
         checkpoint_every: int = 0,
+        fault_injector=None,
     ) -> None:
         super().__init__(
             path=path,
             buffer_pages=buffer_pages,
             charge_policy=power_of_two_charge,
             checkpoint_every=checkpoint_every,
+            fault_injector=fault_injector,
         )
         self._client: str | None = None
 

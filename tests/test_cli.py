@@ -132,6 +132,61 @@ def test_shell_runs_queries_and_quits(tmp_path, capsys, monkeypatch):
     assert "error" in captured.err  # the bad query reported, shell kept going
 
 
+def test_verify_clean_database(tmp_path, capsys):
+    db_path = os.path.join(tmp_path, "demo.db")
+    main(["demo", "--clones", "2", "--db", db_path])
+    capsys.readouterr()
+    assert main(["verify", db_path]) == 0
+    out = capsys.readouterr().out
+    assert "OK" in out and "checked" in out
+
+
+def test_verify_then_recover_crashed_database(tmp_path, capsys):
+    from repro.storage import ObjectStoreSM
+
+    db_path = os.path.join(tmp_path, "crashed.db")
+    sm = ObjectStoreSM(path=db_path, checkpoint_every=1)
+    doomed = sm.allocate_write({"kept": False})
+    sm.commit()
+    sm.checkpoint_every = 0
+    sm.delete(doomed)
+    sm.commit()
+    # crash: no close()
+    assert main(["verify", db_path]) == 1
+    out = capsys.readouterr().out
+    assert "problem" in out and "recover" in out
+    assert main(["recover", db_path]) == 0
+    out = capsys.readouterr().out
+    assert "consistent" in out
+    assert main(["verify", db_path]) == 0
+
+
+def test_verify_missing_file_does_not_create_one(tmp_path, capsys):
+    db_path = os.path.join(tmp_path, "nope.db")
+    assert main(["verify", db_path]) == 2
+    assert "no such database" in capsys.readouterr().err
+    assert not os.path.exists(db_path)  # a check must never create state
+    assert main(["recover", db_path]) == 2
+    assert not os.path.exists(db_path)
+
+
+def test_verify_never_modifies_the_store(tmp_path, capsys):
+    from repro.storage import ObjectStoreSM
+
+    db_path = os.path.join(tmp_path, "frozen.db")
+    sm = ObjectStoreSM(path=db_path, checkpoint_every=1)
+    sm.allocate_write({"x": 1})
+    sm.commit()
+    sm.checkpoint_every = 0
+    sm.allocate_write({"x": 2})
+    sm.commit()  # crash follows: this commit is past the checkpoint
+    before = open(db_path, "rb").read(), open(db_path + ".meta", "rb").read()
+    main(["verify", db_path])
+    capsys.readouterr()
+    after = open(db_path, "rb").read(), open(db_path + ".meta", "rb").read()
+    assert before == after
+
+
 def test_shell_handles_eof(tmp_path, capsys, monkeypatch):
     db_path = os.path.join(tmp_path, "demo.db")
     main(["demo", "--clones", "2", "--db", db_path])

@@ -240,3 +240,35 @@ def test_iteration_helpers(db, clock):
     steps = list(db.iter_steps())
     assert len(materials) == 1 and materials[0][0] == oid
     assert len(steps) == 1
+
+
+def test_verify_storage_passthrough(db, clock):
+    oid = db.create_material("clone", "c-v", clock.tick())
+    db.record_step("determine_sequence", clock.tick(), [oid], {"quality": 0.8})
+    report = db.verify_storage()
+    assert report.ok
+
+
+def test_recover_storage_reloads_catalog(tmp_path, clock):
+    """After a crash-reopen, recover_storage() must both repair the store
+    and re-read the catalog so dropped materials disappear from the
+    key index too."""
+    from repro.storage import ObjectStoreSM
+
+    path = str(tmp_path / "lab.db")
+    sm = ObjectStoreSM(path=path, checkpoint_every=1)
+    db = LabBase(sm)
+    db.define_material_class("clone")
+    db.create_material("clone", "kept", clock.tick())
+    sm.checkpoint()
+    sm.checkpoint_every = 0
+    db.create_material("clone", "lost", clock.tick())
+    sm.commit()
+    # crash: no close()
+    reopened_sm = ObjectStoreSM(path=path)
+    reopened = LabBase(reopened_sm)
+    assert not reopened.verify_storage().ok
+    reopened.recover_storage()
+    reopened.verify_storage().raise_if_bad()
+    assert reopened.material_exists("clone", "kept")
+    reopened_sm.close()

@@ -1,0 +1,183 @@
+"""The crash matrix: kill the store at every write point, then audit.
+
+For each persistent server version the same deterministic workload runs
+with a fault injector that crashes the store at write point N — page
+writes and metadata writes both count, and ``BufferPool.flush_dirty``
+writes in page-id order, so the sequence is identical on every run.
+N sweeps the whole workload (every write point), with and without
+torn-write simulation.
+
+After each crash the store is reopened plain and must satisfy exactly
+one of:
+
+* opening itself fails loudly (a detectably damaged store), or
+* ``verify()`` passes and the contents equal the state at the store's
+  last durable checkpoint, bit for bit, or
+* ``verify()`` reports the damage, and ``recover()`` repairs the store
+  to a verifiable state in which every surviving object holds a value
+  the workload actually wrote — never a torn or invented one.
+
+What is forbidden is the fourth outcome: a store that *claims* to be
+healthy but silently disagrees with any state the application committed.
+
+Set ``CRASH_MATRIX_STRIDE=k`` to test every k-th write point (CI smoke);
+the default sweeps all of them.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.errors import InjectedCrashError, StorageError
+from repro.storage import (
+    FaultInjector,
+    ObjectStoreSM,
+    OStoreMM,
+    TexasSM,
+    TexasTCSM,
+    TexasMM,
+)
+
+N_COMMITS = 25
+
+PERSISTENT_CLASSES = [ObjectStoreSM, TexasSM, TexasTCSM]
+
+
+def _stride() -> int:
+    return max(1, int(os.environ.get("CRASH_MATRIX_STRIDE", "1")))
+
+
+def _workload(sm, snapshots, value_history):
+    """Deterministic mixed workload: N_COMMITS commits of churn.
+
+    After every successful commit the full live state is recorded in
+    ``snapshots`` under the store's checkpoint epoch; both caller-owned
+    dicts survive the injected crash that aborts this function.
+    """
+    rng = random.Random(42)
+    live: dict[int, object] = {}
+
+    def remember(oid, value):
+        live[oid] = value
+        value_history.setdefault(oid, []).append(value)
+
+    for commit_no in range(N_COMMITS):
+        for _ in range(rng.randrange(1, 4)):
+            action = rng.random()
+            if action < 0.55 or not live:
+                if rng.random() < 0.15:
+                    # large: chunks across multiple pages
+                    value = {"big": "x" * 9000, "n": commit_no}
+                else:
+                    value = {"n": commit_no, "pad": "p" * rng.randrange(200)}
+                remember(sm.allocate_write(value), value)
+            elif action < 0.80:
+                oid = rng.choice(sorted(live))
+                value = {"rw": commit_no, "pad": "q" * rng.randrange(3000)}
+                sm.write(oid, value)
+                remember(oid, value)
+            else:
+                oid = rng.choice(sorted(live))
+                sm.delete(oid)
+                del live[oid]
+        sm.commit()
+        snapshots[sm.commit_epoch] = dict(live)
+
+
+def _count_write_points(cls, tmp_path) -> int:
+    """Run the workload once, never crashing, and count its writes."""
+    injector = FaultInjector()  # counting mode
+    path = os.path.join(tmp_path, "count.db")
+    sm = cls(path=path, checkpoint_every=1, fault_injector=injector)
+    _workload(sm, {}, {})
+    total = injector.writes_seen  # workload only: close() not counted
+    sm.close()
+    return total
+
+
+def _audit_after_crash(cls, path, snapshots, value_history):
+    """Reopen a crashed store and enforce the three legal outcomes."""
+    try:
+        reopened = cls(path=path)
+    except StorageError:
+        return  # outcome 1: loud failure at open
+    try:
+        checkpoint_epoch = reopened.commit_epoch
+        report = reopened.verify()
+        if report.ok:
+            # outcome 2: healthy store ⟹ exactly the checkpoint state
+            expected = snapshots.get(checkpoint_epoch, {})
+            actual = {oid: reopened.read(oid) for oid in reopened.oids()}
+            assert actual == expected, (
+                f"silent corruption: verify() passed but contents differ "
+                f"from checkpoint epoch {checkpoint_epoch}"
+            )
+        else:
+            # outcome 3: damage was detected; repair must converge and
+            # every survivor must hold a value that was really written
+            reopened.recover()
+            reopened.verify().raise_if_bad()
+            for oid in reopened.oids():
+                value = reopened.read(oid)
+                assert value in value_history.get(oid, []), (
+                    f"recovery invented a value for oid {oid}: {value!r}"
+                )
+    finally:
+        reopened.close()
+
+
+@pytest.mark.parametrize("cls", PERSISTENT_CLASSES)
+@pytest.mark.parametrize("torn", [False, True], ids=["lost", "torn"])
+def test_crash_matrix(cls, torn, tmp_path):
+    total = _count_write_points(cls, tmp_path)
+    assert total > N_COMMITS  # sanity: at least one write point per commit
+    for crash_at in range(0, total, _stride()):
+        path = os.path.join(tmp_path, f"crash_{int(torn)}_{crash_at}.db")
+        injector = FaultInjector(crash_after_writes=crash_at, torn_write=torn)
+        sm = cls(path=path, checkpoint_every=1, fault_injector=injector)
+        snapshots: dict[int, dict] = {}
+        value_history: dict[int, list] = {}
+        with pytest.raises(InjectedCrashError):
+            _workload(sm, snapshots, value_history)
+        _audit_after_crash(cls, path, snapshots, value_history)
+
+
+@pytest.mark.parametrize("cls", PERSISTENT_CLASSES)
+def test_workload_without_faults_is_clean(cls, tmp_path):
+    """The same workload, uninterrupted, closes and reopens verifiably."""
+    path = os.path.join(tmp_path, "clean.db")
+    sm = cls(path=path, checkpoint_every=1)
+    snapshots: dict[int, dict] = {}
+    _workload(sm, snapshots, {})
+    final_epoch = sm.commit_epoch
+    sm.close()
+    reopened = cls(path=path)
+    reopened.verify().raise_if_bad()
+    actual = {oid: reopened.read(oid) for oid in reopened.oids()}
+    assert actual == snapshots[final_epoch]
+    reopened.close()
+
+
+@pytest.mark.parametrize("cls", [OStoreMM, TexasMM])
+def test_memstore_crash_semantics(cls):
+    """Main-memory stores advertise no durability: a crash loses all.
+
+    Their verify()/recover() must still honour the common API so the
+    crash-matrix driver treats every server version uniformly — and a
+    'reopened' store (a fresh instance) is trivially consistent: empty.
+    """
+    sm = cls()
+    assert sm.persistent is False
+    for i in range(10):
+        sm.allocate_write({"i": i})
+    sm.commit()
+    report = sm.verify()
+    assert report.ok
+    assert sm.recover() == {
+        "dropped_objects": 0, "dropped_roots": 0, "vacuumed_slots": 0,
+    }
+    # crash: the instance is simply gone; a new one is empty & consistent
+    reopened = cls()
+    assert reopened.object_count() == 0
+    assert reopened.verify().ok

@@ -6,11 +6,13 @@ import pytest
 
 from repro.errors import StorageError
 from repro.storage.disk import PageFile
-from repro.storage.page import PAGE_SIZE
+from repro.storage.page import PAGE_SIZE, PAGE_TRAILER_BYTES
 
 
 def _image(fill: bytes) -> bytes:
-    return fill * (PAGE_SIZE // len(fill))
+    """A page image with the trailer reserve left zero, like real pages."""
+    body = fill * ((PAGE_SIZE - PAGE_TRAILER_BYTES) // len(fill))
+    return body + b"\0" * (PAGE_SIZE - len(body))
 
 
 def test_memory_mode_round_trip():
@@ -159,4 +161,67 @@ def test_interrupted_meta_rewrite_keeps_old_blob(tmp_path):
     with open(path + ".meta.tmp", "wb") as handle:
         handle.write(b"\x80\x04partial")  # torn half-written temp file
     assert disk.read_meta() == {"committed": True}
+    disk.close()
+
+
+# -- the commit-epoch trailer ------------------------------------------------
+
+
+def test_nonzero_trailer_reserve_rejected():
+    disk = PageFile(None)
+    with pytest.raises(StorageError, match="reserved"):
+        disk.write_page(0, b"a" * PAGE_SIZE)
+
+
+def test_pages_are_stamped_with_the_current_epoch():
+    disk = PageFile(None)
+    disk.write_page(0, _image(b"a"))
+    disk.epoch = 7
+    disk.write_page(3, _image(b"b"))
+    assert disk.read_page_epoch(0) == 1
+    assert disk.read_page_epoch(3) == 7
+    assert disk.read_page_epoch(1) is None  # hole
+
+
+def test_torn_page_detected_by_checksum(tmp_path):
+    """Flipping bytes in a stored page (half a write landing) must raise
+    on read and show up in the epoch scan — never decode as data."""
+    path = os.path.join(tmp_path, "torn.db")
+    disk = PageFile(path)
+    disk.write_page(0, _image(b"a"))
+    disk.write_page(1, _image(b"b"))
+    disk.close()
+    with open(path, "r+b") as handle:
+        handle.seek(100)
+        handle.write(b"CORRUPT")
+    reopened = PageFile(path)
+    with pytest.raises(StorageError, match="torn"):
+        reopened.read_page(0)
+    assert reopened.read_page(1) == _image(b"b")  # neighbour unharmed
+    issues = reopened.epoch_issues(max_epoch=10)
+    assert len(issues) == 1 and "torn" in issues[0]
+    reopened.close()
+
+
+def test_epoch_issues_flags_future_pages():
+    disk = PageFile(None)
+    disk.write_page(0, _image(b"a"))
+    disk.epoch = 5
+    disk.write_page(1, _image(b"b"))
+    assert disk.epoch_issues(5) == []
+    issues = disk.epoch_issues(4)
+    assert len(issues) == 1 and "epoch 5" in issues[0]
+
+
+def test_clear_page_makes_a_hole(tmp_path):
+    path = os.path.join(tmp_path, "clear.db")
+    disk = PageFile(path)
+    disk.write_page(0, _image(b"a"))
+    disk.write_page(1, _image(b"b"))
+    disk.clear_page(0)
+    with pytest.raises(StorageError, match="never written"):
+        disk.read_page(0)
+    assert disk.read_page_epoch(0) is None
+    assert disk.read_page(1) == _image(b"b")
+    assert disk.page_count == 2  # clearing never shrinks the file
     disk.close()
