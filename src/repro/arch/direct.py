@@ -25,6 +25,7 @@ from repro.errors import (
     UnknownMaterialError,
 )
 from repro.storage.base import StorageManager
+from repro.storage.objcache import ObjectCache
 
 _INDEX_ROOT = "direct_index"
 
@@ -37,14 +38,18 @@ class DirectServer:
     root record lists every material oid per class.  Current values are
     found by scanning the material's steps — the cost LabBase's access
     structures exist to avoid.
+
+    ``object_cache`` sets the A4 object-cache capacity.  It defaults to
+    0 — Architecture A means *no* intervening software, so even the
+    cache layer is opt-in here (LabBase defaults it on).
     """
 
-    def __init__(self, sm: StorageManager) -> None:
-        self._sm = sm
-        root = sm.get_root(_INDEX_ROOT)
+    def __init__(self, sm: StorageManager, object_cache: int = 0) -> None:
+        self._sm = ObjectCache(sm, capacity=object_cache)
+        root = self._sm.get_root(_INDEX_ROOT)
         if root is None:
-            self._index_oid = sm.allocate_write({"classes": {}, "steps": {}})
-            sm.set_root(_INDEX_ROOT, self._index_oid)
+            self._index_oid = self._sm.allocate_write({"classes": {}, "steps": {}})
+            self._sm.set_root(_INDEX_ROOT, self._index_oid)
         else:
             self._index_oid = root
 

@@ -31,7 +31,7 @@ from repro.benchmark.report import (
     render_stats,
     render_workload,
 )
-from repro.benchmark.servers import ServerSpec, all_servers, server_spec
+from repro.benchmark.servers import ServerSpec, all_servers, make_db, server_spec
 from repro.benchmark.trace import Trace, TracingServer, replay
 from repro.benchmark.workload import IntervalTally, LabFlowWorkload
 
@@ -53,6 +53,7 @@ __all__ = [
     "replay",
     "server_spec",
     "all_servers",
+    "make_db",
     "run_server",
     "run_comparison",
     "RunResult",

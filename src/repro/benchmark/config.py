@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.errors import ConfigError
+from repro.storage.objcache import DEFAULT_CACHE_OBJECTS
 
 #: Paper column order for the five server versions.
 SERVER_ORDER = ("OStore", "Texas+TC", "Texas", "OStore-mm", "Texas-mm")
@@ -47,6 +48,9 @@ class BenchmarkConfig:
 
     # storage knobs
     buffer_pages: int = 256
+    #: object-cache capacity (ablation A4): 0 = off (reads always hit the
+    #: storage manager; the unit-of-work write path is identical either way)
+    object_cache: int = DEFAULT_CACHE_OBJECTS
     #: directory for database files; None = in-memory page files
     db_dir: str | None = None
 
@@ -67,6 +71,8 @@ class BenchmarkConfig:
             raise ConfigError("mix knobs must be non-negative")
         if self.buffer_pages < 1:
             raise ConfigError("buffer_pages must be positive")
+        if self.object_cache < 0:
+            raise ConfigError("object_cache must be >= 0 (0 disables it)")
         if self.blast_mean_hits < 0 or self.blast_max_hits < self.blast_mean_hits:
             raise ConfigError("invalid BLAST hit-list sizing")
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.benchmark.config import SERVER_ORDER, BenchmarkConfig
-from repro.benchmark.servers import ServerSpec, all_servers
+from repro.benchmark.servers import ServerSpec, all_servers, make_db
 from repro.benchmark.workload import IntervalTally, LabFlowWorkload
 from repro.labbase.database import LabBase
 from repro.util.timing import ResourceMeter, ResourceUsage
@@ -78,12 +78,7 @@ def run_server(
     the result so callers can issue follow-up queries (E5 does this);
     otherwise the store is closed.
     """
-    sm = spec.make(config)
-    db = LabBase(
-        sm,
-        use_most_recent_index=config.use_most_recent_index,
-        history_chunk=config.history_chunk,
-    )
+    sm, db = make_db(spec, config)
     workload = LabFlowWorkload(db, config)
     meter = ResourceMeter(fault_source=sm.stats)
     result = RunResult(server=spec.name)

@@ -69,6 +69,9 @@ def render_stats(
         "swizzle_operations",
         "objects_read",
         "objects_written",
+        "cache_hits",
+        "cache_misses",
+        "cache_coalesced",
     ),
 ) -> str:
     """Storage-counter totals per server (the locality evidence)."""

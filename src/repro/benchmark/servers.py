@@ -13,6 +13,7 @@ from typing import Callable
 
 from repro.benchmark.config import SERVER_ORDER, BenchmarkConfig
 from repro.errors import ConfigError
+from repro.labbase.database import LabBase
 from repro.storage.base import StorageManager
 from repro.storage.clustered import TexasTCSM
 from repro.storage.memstore import OStoreMM, TexasMM
@@ -71,6 +72,23 @@ _SPECS: dict[str, ServerSpec] = {
         _factory=lambda path, pages: TexasMM(),
     ),
 }
+
+
+def make_db(spec: "ServerSpec", config: BenchmarkConfig) -> tuple[StorageManager, LabBase]:
+    """Storage manager + LabBase wired per the benchmark config.
+
+    Threads every LabBase knob the config carries — most-recent index
+    (A1), history chunking, and the object cache (A4) — so ablation
+    benches construct servers one way.
+    """
+    sm = spec.make(config)
+    db = LabBase(
+        sm,
+        use_most_recent_index=config.use_most_recent_index,
+        history_chunk=config.history_chunk,
+        object_cache=config.object_cache,
+    )
+    return sm, db
 
 
 def server_spec(name: str) -> ServerSpec:

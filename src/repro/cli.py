@@ -55,11 +55,39 @@ def _load_graph(path: str | None):
         return load_workflow(handle.read())
 
 
+def _object_cache_capacity(value: str) -> int:
+    """Parse ``--object-cache on|off|SIZE`` into a capacity (A4 knob)."""
+    from repro.storage import DEFAULT_CACHE_OBJECTS
+
+    if value == "on":
+        return DEFAULT_CACHE_OBJECTS
+    if value == "off":
+        return 0
+    try:
+        capacity = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected 'on', 'off' or an object count, got {value!r}"
+        ) from None
+    if capacity < 0:
+        raise argparse.ArgumentTypeError("object-cache size must be >= 0")
+    return capacity
+
+
+def _add_object_cache_flag(parser) -> None:
+    parser.add_argument(
+        "--object-cache", type=_object_cache_capacity, default="on",
+        metavar="on|off|SIZE",
+        help="object-cache capacity: on (default), off, or max cached objects",
+    )
+
+
 def _config(args) -> BenchmarkConfig:
     return BenchmarkConfig(
         clones_per_interval=args.clones,
         seed=args.seed,
         db_dir=args.db_dir,
+        object_cache=args.object_cache,
     )
 
 
@@ -166,9 +194,9 @@ def cmd_replay(args) -> int:
 
     with open(args.trace) as fp:
         trace = Trace.load(fp)
-    config = BenchmarkConfig(db_dir=args.db_dir)
+    config = BenchmarkConfig(db_dir=args.db_dir, object_cache=args.object_cache)
     sm = server_spec(args.server).make(config)
-    db = LabBase(sm)
+    db = LabBase(sm, object_cache=config.object_cache)
     meter = ResourceMeter(fault_source=sm.stats)
     meter.start()
     counts = replay(trace, db)
@@ -284,6 +312,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=1996)
         p.add_argument("--db-dir", default=None,
                        help="directory for database files (default: in-memory)")
+        _add_object_cache_flag(p)
 
     p = sub.add_parser("compare", help="the Section 10 five-server table")
     add_scale(p)
@@ -321,6 +350,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("trace", help="trace file produced by 'record'")
     p.add_argument("--server", choices=SERVER_ORDER, default="OStore")
     p.add_argument("--db-dir", default=None)
+    _add_object_cache_flag(p)
     p.set_defaults(func=cmd_replay)
 
     p = sub.add_parser("verify", help="check a database file's integrity")

@@ -114,7 +114,7 @@ class BulkLoader:
         self._check_not_flushed()
         self._flushed = True
         db = self._db
-        sm = db.storage
+        sm = db.cache  # cache-backed handle: same object API as the SM
         seg = db._segment_arg
 
         # 1. material records (fresh, history filled in below)

@@ -17,16 +17,20 @@ from __future__ import annotations
 from repro.errors import SchemaError, UnknownClassError
 from repro.labbase import model
 from repro.labbase.schema import MaterialClass, StepClass, StepClassVersion
-from repro.storage.base import StorageManager
+from repro.storage.objcache import ObjectCache
 
 CATALOG_ROOT = "labbase_catalog"
 COUNTERS_ROOT = "labbase_counters"
 
 
 class Catalog:
-    """In-memory image of the catalog record, persisted on change."""
+    """In-memory image of the catalog record, persisted on change.
 
-    def __init__(self, sm: StorageManager, segment: str | None) -> None:
+    ``sm`` is LabBase's cache-backed store handle (any object with the
+    storage-manager object API works, e.g. a raw storage manager).
+    """
+
+    def __init__(self, sm: ObjectCache, segment: str | None) -> None:
         self._sm = sm
         self._segment = segment
         self.material_classes: dict[str, MaterialClass] = {}

@@ -39,6 +39,7 @@ from repro.labbase.history import HistoryStore
 from repro.labbase.schema import MaterialClass, StepClassVersion
 from repro.labbase.statestore import StateStore
 from repro.storage.base import StorageManager
+from repro.storage.objcache import DEFAULT_CACHE_OBJECTS, ObjectCache
 
 SEG_CATALOG = "labbase.catalog"
 SEG_MATERIALS = "labbase.materials"
@@ -66,6 +67,14 @@ class LabBase:
         instead of using the per-material index.
     history_chunk:
         Step oids per history-list node.
+    object_cache:
+        ``True`` (default) caches :data:`~repro.storage.objcache.DEFAULT_CACHE_OBJECTS`
+        deserialized objects; an int sets the capacity directly.
+        ``False`` (ablation A4 "off") keeps a capacity-0 cache: reads
+        always go to the storage manager, but writes still follow the
+        same unit-of-work discipline, so both settings issue the
+        identical storage-manager write sequence (byte-identical
+        databases).
     """
 
     def __init__(
@@ -73,15 +82,23 @@ class LabBase:
         sm: StorageManager,
         use_most_recent_index: bool = True,
         history_chunk: int = model.HISTORY_CHUNK,
+        object_cache: bool | int = True,
     ) -> None:
         self._sm = sm
         self.use_most_recent_index = use_most_recent_index
+        if object_cache is True:
+            capacity = DEFAULT_CACHE_OBJECTS
+        elif object_cache is False:
+            capacity = 0
+        else:
+            capacity = int(object_cache)
+        self._store = ObjectCache(sm, capacity=capacity)
         for name, description in SEGMENT_PLAN:
             sm.create_segment(name, description)
         seg = self._segment_arg
-        self.catalog = Catalog(sm, seg(SEG_CATALOG))
-        self.history = HistoryStore(sm, seg(SEG_HISTORY), chunk=history_chunk)
-        self.sets = StateStore(sm, self.catalog, seg(SEG_SETS))
+        self.catalog = Catalog(self._store, seg(SEG_CATALOG))
+        self.history = HistoryStore(self._store, seg(SEG_HISTORY), chunk=history_chunk)
+        self.sets = StateStore(self._store, self.catalog, seg(SEG_SETS))
 
     def _segment_arg(self, name: str) -> str | None:
         return name if self._sm.supports_segments else None
@@ -89,6 +106,11 @@ class LabBase:
     @property
     def storage(self) -> StorageManager:
         return self._sm
+
+    @property
+    def cache(self) -> ObjectCache:
+        """The unit-of-work object cache every component reads through."""
+        return self._store
 
     # ------------------------------------------------------------------
     # crash consistency
@@ -163,7 +185,7 @@ class LabBase:
         if buckets[index] == model.NIL:
             if not create:
                 return model.NIL
-            buckets[index] = self._sm.allocate_write(
+            buckets[index] = self._store.allocate_write(
                 model.make_index_bucket(), segment=self._segment_arg(SEG_CATALOG)
             )
             self.catalog.save()
@@ -171,18 +193,18 @@ class LabBase:
 
     def _index_insert(self, class_name: str, key: str, material_oid: int) -> None:
         bucket_oid = self._bucket_oid(class_name, key, create=True)
-        bucket = self._sm.read(bucket_oid)
+        bucket = self._store.read(bucket_oid)
         if key in bucket["entries"]:
             raise DuplicateKeyError(class_name, key)
         bucket["entries"][key] = material_oid
-        self._sm.write(bucket_oid, bucket)
+        self._store.write(bucket_oid, bucket)
 
     def _index_lookup(self, class_name: str, key: str) -> int:
         self.catalog.material_class(class_name)  # raise on unknown class
         bucket_oid = self._bucket_oid(class_name, key, create=False)
         if bucket_oid == model.NIL:
             raise UnknownMaterialError(f"no material {key!r} in class {class_name!r}")
-        bucket = self._sm.read(bucket_oid)
+        bucket = self._store.read(bucket_oid)
         oid = bucket["entries"].get(key)
         if oid is None:
             raise UnknownMaterialError(f"no material {key!r} in class {class_name!r}")
@@ -202,11 +224,11 @@ class LabBase:
         """create_<class>(M): new material instance, returns its oid."""
         self.catalog.material_class(class_name)
         record = model.make_material(class_name, key, valid_time)
-        oid = self._sm.allocate_write(record, segment=self._segment_arg(SEG_MATERIALS))
+        oid = self._store.allocate_write(record, segment=self._segment_arg(SEG_MATERIALS))
         self._index_insert(class_name, key, oid)
         if state is not None:
             self.sets.enter_state(oid, record, state, valid_time)
-        self._sm.write(oid, record)
+        self._store.write(oid, record)
         self.catalog.material_counts[class_name] = (
             self.catalog.material_counts.get(class_name, 0) + 1
         )
@@ -215,7 +237,7 @@ class LabBase:
 
     def material(self, oid: int) -> dict:
         """The raw sm_material record (treat as read-only)."""
-        record = self._sm.read(oid)
+        record = self._store.read(oid)
         if record.get("kind") != model.KIND_MATERIAL:
             raise UnknownMaterialError(f"oid {oid} is not a material")
         return record
@@ -266,7 +288,7 @@ class LabBase:
             results=sorted(results.items()),
             involves=involved,
         )
-        step_oid = self._sm.allocate_write(
+        step_oid = self._store.allocate_write(
             step, segment=self._segment_arg(SEG_HISTORY)
         )
 
@@ -276,7 +298,7 @@ class LabBase:
             if self.use_most_recent_index:
                 for attr, value in results.items():
                     model.update_recent(material, attr, valid_time, step_oid, value)
-            self._sm.write(material_oid, material)
+            self._store.write(material_oid, material)
 
         self.catalog.step_counts[class_name] = (
             self.catalog.step_counts.get(class_name, 0) + 1
@@ -289,7 +311,7 @@ class LabBase:
 
     def step(self, oid: int) -> dict:
         """The raw sm_step record (treat as read-only)."""
-        record = self._sm.read(oid)
+        record = self._store.read(oid)
         if record.get("kind") != model.KIND_STEP:
             raise UnknownMaterialError(f"oid {oid} is not a step")
         return record
@@ -307,11 +329,11 @@ class LabBase:
             if self.history.remove_step(material, step_oid):
                 if self.use_most_recent_index:
                     self.history.rebuild_recent(material)
-                self._sm.write(material_oid, material)
+                self._store.write(material_oid, material)
         version = self.catalog.step_version(step["class_version"])
         self.catalog.step_counts[version.name] -= 1
         self.catalog.version_step_counts[version.version_id] -= 1
-        self._sm.delete(step_oid)
+        self._store.delete(step_oid)
         self.catalog.save_counters()
 
     # ------------------------------------------------------------------
@@ -322,13 +344,13 @@ class LabBase:
         """U3: retract old state, assert new state."""
         material = self.material(material_oid)
         self.sets.enter_state(material_oid, material, state, valid_time)
-        self._sm.write(material_oid, material)
+        self._store.write(material_oid, material)
 
     def clear_state(self, material_oid: int) -> str:
         """Retract the material's state with no replacement."""
         material = self.material(material_oid)
         old = self.sets.leave_state(material_oid, material)
-        self._sm.write(material_oid, material)
+        self._store.write(material_oid, material)
         return old
 
     def state_of(self, material_oid: int) -> str | None:
@@ -495,15 +517,15 @@ class LabBase:
 
     def iter_materials(self) -> Iterator[tuple[int, dict]]:
         """Every material record (storage scan; not a benchmark op)."""
-        for oid in self._sm.oids():
-            record = self._sm.read(oid)
+        for oid in self._store.oids():
+            record = self._store.read(oid)
             if isinstance(record, dict) and record.get("kind") == model.KIND_MATERIAL:
                 yield oid, record
 
     def iter_steps(self) -> Iterator[tuple[int, dict]]:
         """Every step record (storage scan; not a benchmark op)."""
-        for oid in self._sm.oids():
-            record = self._sm.read(oid)
+        for oid in self._store.oids():
+            record = self._store.read(oid)
             if isinstance(record, dict) and record.get("kind") == model.KIND_STEP:
                 yield oid, record
 
@@ -512,11 +534,11 @@ class LabBase:
     # ------------------------------------------------------------------
 
     def begin(self) -> None:
-        self._sm.begin()
+        self._store.begin()
 
     def commit(self) -> None:
-        self._sm.commit()
+        self._store.commit()
 
     def abort(self) -> None:
-        self._sm.abort()
+        self._store.abort()
         self.catalog.reload()

@@ -19,15 +19,20 @@ from __future__ import annotations
 from typing import Iterator
 
 from repro.labbase import model
-from repro.storage.base import StorageManager
+from repro.storage.objcache import ObjectCache
 
 
 class HistoryStore:
-    """History-list operations over a storage manager."""
+    """History-list operations over LabBase's cache-backed store handle.
+
+    Chain walks (``steps``, ``steps_by_valid_time``, ``scan_most_recent``)
+    read every node and step record through the object cache, so a warm
+    cache serves repeat scans without touching the storage manager.
+    """
 
     def __init__(
         self,
-        sm: StorageManager,
+        sm: ObjectCache,
         segment: str | None,
         chunk: int = model.HISTORY_CHUNK,
     ) -> None:

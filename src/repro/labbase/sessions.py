@@ -130,6 +130,12 @@ class SessionManager:
 
         All-or-nothing: a conflict on a later page of a chunked object
         releases the pages this call already took before re-raising.
+
+        A *newly granted* lock is a hand-off point: another client may
+        have updated the object since this client last saw it, so the
+        cached copy is dropped and the next read goes through the
+        storage manager — exactly what a real page-server client does
+        when it re-acquires a page lock.
         """
         if not self._sm.supports_concurrency:
             # single-client store: attach succeeded, locks are moot
@@ -142,6 +148,8 @@ class SessionManager:
         except LockError:
             self._unlock_pages(client, newly)
             raise
+        if newly:
+            self.db.cache.evict(oid)
         return newly
 
     def lock_objects(self, client: str, oids, exclusive: bool) -> None:

@@ -16,7 +16,7 @@ from __future__ import annotations
 from repro.errors import StateError
 from repro.labbase import model
 from repro.labbase.catalog import Catalog
-from repro.storage.base import StorageManager
+from repro.storage.objcache import ObjectCache
 
 
 def state_set_name(state: str) -> str:
@@ -25,9 +25,14 @@ def state_set_name(state: str) -> str:
 
 
 class StateStore:
-    """Named material sets, including the per-state sets."""
+    """Named material sets, including the per-state sets.
 
-    def __init__(self, sm: StorageManager, catalog: Catalog, segment: str | None) -> None:
+    ``sm`` is LabBase's cache-backed store handle — per-state set records
+    are among the hottest objects in the database, so Q3 on a warm cache
+    is a pure in-memory read.
+    """
+
+    def __init__(self, sm: ObjectCache, catalog: Catalog, segment: str | None) -> None:
         self._sm = sm
         self._catalog = catalog
         self._segment = segment

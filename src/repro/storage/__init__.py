@@ -22,6 +22,7 @@ from repro.storage.clustered import TexasTCSM
 from repro.storage.faultinject import FaultInjector, FaultyPageFile
 from repro.storage.locks import LockManager, LockMode
 from repro.storage.memstore import MainMemorySM, OStoreMM, TexasMM
+from repro.storage.objcache import DEFAULT_CACHE_OBJECTS, ObjectCache
 from repro.storage.objectstore import ObjectStoreSM
 from repro.storage.integrity import IntegrityReport, verify
 from repro.storage.page import PAGE_SIZE, Page, exact_charge, power_of_two_charge
@@ -48,6 +49,8 @@ __all__ = [
     "Segment",
     "DEFAULT_SEGMENT",
     "StorageStats",
+    "ObjectCache",
+    "DEFAULT_CACHE_OBJECTS",
     "verify",
     "IntegrityReport",
     "FaultInjector",

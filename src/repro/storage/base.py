@@ -67,6 +67,49 @@ class StorageManager(abc.ABC):
 
     stats: StorageStats
 
+    #: Attached object caches (see ``repro.storage.objcache``).  Class-level
+    #: empty tuple so managers without caches pay nothing; ``attach_cache``
+    #: installs a per-instance list.
+    _caches: tuple | list = ()
+
+    # -- object-cache hooks --------------------------------------------------
+    #
+    # An object cache layered above this manager registers itself here so
+    # the manager can keep it coherent: transactions drain it, aborts and
+    # recovery invalidate it, deletes evict.  Concrete managers call the
+    # ``_*_caches`` helpers from their commit/abort/delete/recover paths.
+
+    def attach_cache(self, cache) -> None:
+        """Register an object cache for coherence callbacks."""
+        if not isinstance(self._caches, list):
+            self._caches = []
+        self._caches.append(cache)
+
+    def detach_cache(self, cache) -> None:
+        """Unregister a cache (missing caches are ignored)."""
+        if isinstance(self._caches, list) and cache in self._caches:
+            self._caches.remove(cache)
+
+    def _drain_caches(self) -> None:
+        for cache in self._caches:
+            cache._on_sm_drain()
+
+    def _begin_caches(self) -> None:
+        for cache in self._caches:
+            cache._on_sm_begin()
+
+    def _end_txn_caches(self) -> None:
+        for cache in self._caches:
+            cache._on_sm_txn_end()
+
+    def _invalidate_caches(self) -> None:
+        for cache in self._caches:
+            cache._on_sm_invalidate()
+
+    def _evict_caches(self, oid: int) -> None:
+        for cache in self._caches:
+            cache._on_sm_delete(oid)
+
     # -- lifecycle -----------------------------------------------------------
 
     @abc.abstractmethod
@@ -164,6 +207,7 @@ class StorageManager(abc.ABC):
         nothing to reconcile.  Returns the same counter dict as the
         paged implementation so drivers can report uniformly.
         """
+        self._invalidate_caches()
         return {"dropped_objects": 0, "dropped_roots": 0, "vacuumed_slots": 0}
 
     # -- convenience ---------------------------------------------------------
@@ -453,6 +497,7 @@ class PagedStorageManager(StorageManager):
         self._journal_dir(oid)
         self._free_entry(entry)
         del self._directory[oid]
+        self._evict_caches(oid)
         self.stats.objects_deleted += 1
 
     def oids(self) -> Iterator[int]:
@@ -478,7 +523,10 @@ class PagedStorageManager(StorageManager):
         if self._in_txn:
             raise TransactionError("transaction already in progress")
         # Writes before begin() must be on disk before the transaction
-        # starts, otherwise abort's drop_dirty would lose them.
+        # starts, otherwise abort's drop_dirty would lose them — and any
+        # attached object cache must drain its buffered writes first for
+        # the same reason.
+        self._drain_caches()
         self._pool.flush_dirty()
         self._undo_dir = {}
         self._undo_small = {
@@ -488,6 +536,7 @@ class PagedStorageManager(StorageManager):
             "segments": [seg.to_meta() for seg in self._segments.values()],
         }
         self._in_txn = True
+        self._begin_caches()
 
     def _journal_dir(self, oid: int) -> None:
         """Record an oid's pre-transaction directory entry, once."""
@@ -502,6 +551,10 @@ class PagedStorageManager(StorageManager):
         eagerly but maintained their maps in virtual memory.
         """
         self._check_open()
+        # Coalesced object-cache writes land first (oid order), so the
+        # page flush below carries them out in this same commit.
+        self._drain_caches()
+        self._end_txn_caches()
         self._pool.flush_dirty()
         self._disk.sync()
         self._in_txn = False
@@ -518,6 +571,11 @@ class PagedStorageManager(StorageManager):
         self._check_open()
         if not self._in_txn:
             raise TransactionError("abort without a transaction")
+        # Cached objects may carry in-memory mutations from the aborted
+        # transaction (buffered writes, or records mutated in place
+        # before a write that never came) — drop them all.
+        self._invalidate_caches()
+        self._end_txn_caches()
         self._pool.drop_dirty()
         assert self._undo_dir is not None and self._undo_small is not None
         for oid, old_entry in self._undo_dir.items():
@@ -638,7 +696,9 @@ class PagedStorageManager(StorageManager):
         vacuumed = self.vacuum_orphans()
         # The repaired state supersedes whatever the crash left behind:
         # checkpoint it so the epoch bookkeeping matches the disk again,
-        # and clear the problems recorded at open.
+        # and clear the problems recorded at open.  Cached objects may
+        # reference dropped state — surviving values re-read lazily.
+        self._invalidate_caches()
         self._flush_all()
         self._open_problems = []
         return {
@@ -676,9 +736,14 @@ class PagedStorageManager(StorageManager):
         """Flush dirty pages, then empty the buffer pool.
 
         Used by the locality experiments (E5, A2) to measure queries
-        against a cold cache, where every page touched is a fault.
+        against a cold cache, where every page touched is a fault.  Any
+        attached object cache goes cold too — otherwise "cold" queries
+        would be served from deserialized objects without touching a
+        single page.
         """
         self._check_open()
+        self._drain_caches()
+        self._invalidate_caches()
         self._pool.flush_dirty()
         self._pool.clear()
 
@@ -687,6 +752,7 @@ class PagedStorageManager(StorageManager):
             return
         if self._in_txn:
             raise TransactionError("close() inside an open transaction")
+        self._drain_caches()
         self._flush_all()
         self._disk.close()
         self._closed = True

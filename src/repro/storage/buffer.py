@@ -50,6 +50,15 @@ class BufferPool:
         self._stats = stats
         self._fault_hook = fault_hook
         self._pages: OrderedDict[int, Page] = OrderedDict()
+        # Clean-page candidates in the same LRU order as _pages, so an
+        # eviction pops the victim in O(1) instead of scanning every
+        # resident page.  Page.dirty is flipped by Page mutators outside
+        # the pool, so entries can go stale (page dirtied after being
+        # listed); _clean_lru_victim discards stale entries lazily, and
+        # flush_dirty (the only event that makes pages clean in bulk)
+        # rebuilds the list.  Invariant: every clean resident page is
+        # listed; listed pages are merely *candidates*.
+        self._clean: OrderedDict[int, None] = OrderedDict()
         self.overflow_high_water = 0  # max pages resident beyond capacity
 
     # -- access ---------------------------------------------------------------
@@ -59,6 +68,8 @@ class BufferPool:
         page = self._pages.get(page_id)
         if page is not None:
             self._pages.move_to_end(page_id)
+            if page_id in self._clean:
+                self._clean.move_to_end(page_id)
             self._stats.buffer_hits += 1
             return page
         page = self._load_page(page_id)
@@ -76,6 +87,11 @@ class BufferPool:
     def _admit(self, page: Page) -> None:
         self._pages[page.page_id] = page
         self._pages.move_to_end(page.page_id)
+        if page.dirty:
+            self._clean.pop(page.page_id, None)
+        else:
+            self._clean[page.page_id] = None
+            self._clean.move_to_end(page.page_id)
         self._evict_if_needed()
 
     def _evict_if_needed(self) -> None:
@@ -89,13 +105,32 @@ class BufferPool:
             del self._pages[victim_id]
 
     def _clean_lru_victim(self) -> int | None:
+        """Oldest genuinely-clean page, never the one just touched.
+
+        Pops candidates off the clean list oldest-first, discarding
+        stale entries (pages dirtied or dropped since listing) as it
+        goes — each stale entry is paid for once, so eviction cost is
+        amortised O(1) rather than a scan of every resident page.
+        """
         newest = next(reversed(self._pages), None)
-        for page_id, page in self._pages.items():  # oldest first
+        skipped_newest = None
+        victim = None
+        while self._clean:
+            page_id, _ = self._clean.popitem(last=False)  # oldest first
+            page = self._pages.get(page_id)
+            if page is None or page.dirty:
+                continue  # stale entry
             if page_id == newest:
-                continue  # never evict the page just admitted/touched
-            if not page.dirty:
-                return page_id
-        return None
+                skipped_newest = page_id  # never evict the just-touched page
+                continue
+            victim = page_id
+            break
+        if skipped_newest is not None:
+            # Still clean and resident: put it back where it was (the
+            # front — everything once ahead of it was consumed above).
+            self._clean[skipped_newest] = None
+            self._clean.move_to_end(skipped_newest, last=False)
+        return victim
 
     # -- write-back -------------------------------------------------------------
 
@@ -114,6 +149,9 @@ class BufferPool:
                 page.dirty = False
                 written += 1
         self._stats.page_writes += written
+        # Everything resident is clean now; rebuild the candidate list in
+        # _pages (LRU) order, dropping stale entries in one pass.
+        self._clean = OrderedDict((page_id, None) for page_id in self._pages)
         self._evict_if_needed()
         return written
 
@@ -127,10 +165,12 @@ class BufferPool:
     def drop(self, page_id: int) -> None:
         """Remove one page from the pool if resident (page deallocated)."""
         self._pages.pop(page_id, None)
+        self._clean.pop(page_id, None)
 
     def clear(self) -> None:
         """Empty the pool (dirty pages are lost; call flush_dirty first)."""
         self._pages.clear()
+        self._clean.clear()
 
     # -- introspection ------------------------------------------------------------
 

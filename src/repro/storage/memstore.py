@@ -107,6 +107,7 @@ class MainMemorySM(StorageManager):
             raise UnknownOidError(oid)
         self._journal(oid)
         del self._objects[oid]
+        self._evict_caches(oid)
         self.stats.objects_deleted += 1
 
     def oids(self) -> Iterator[int]:
@@ -131,6 +132,7 @@ class MainMemorySM(StorageManager):
         self._check_open()
         if self._in_txn:
             raise TransactionError("transaction already in progress")
+        self._drain_caches()
         # Undo journal: old payloads (or _ABSENT) per touched oid, so
         # begin() is O(1), not O(database).
         self._undo = {
@@ -139,6 +141,7 @@ class MainMemorySM(StorageManager):
             "oid_high": self._oid_alloc.high_water,
         }
         self._in_txn = True
+        self._begin_caches()
 
     def _journal(self, oid: int) -> None:
         if self._in_txn and oid not in self._undo["objects"]:
@@ -146,6 +149,8 @@ class MainMemorySM(StorageManager):
 
     def commit(self) -> None:
         self._check_open()
+        self._drain_caches()
+        self._end_txn_caches()
         self._in_txn = False
         self._undo = None
         self.stats.commits += 1
@@ -154,6 +159,8 @@ class MainMemorySM(StorageManager):
         self._check_open()
         if not self._in_txn:
             raise TransactionError("abort without a transaction")
+        self._invalidate_caches()
+        self._end_txn_caches()
         assert self._undo is not None
         for oid, old_payload in self._undo["objects"].items():
             if old_payload is _ABSENT:
@@ -181,6 +188,7 @@ class MainMemorySM(StorageManager):
             return
         if self._in_txn:
             raise TransactionError("close() inside an open transaction")
+        self._drain_caches()
         self._closed = True
 
 

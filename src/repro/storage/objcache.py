@@ -1,0 +1,254 @@
+"""Transactional object cache with unit-of-work semantics.
+
+Every ``StorageManager.read`` deserializes a full record from page
+bytes, and every ``write`` serializes one — even when a logical LabBase
+operation touches the same object several times (``record_step`` alone
+re-reads the material record for the history append, the most-recent
+index update and the state transition).  :class:`ObjectCache` sits
+between LabBase and the storage manager and keeps *deserialized* objects
+keyed by oid:
+
+* **reads** are served from a bounded LRU of live objects — a hit skips
+  the page access *and* the deserialization;
+* **writes inside a transaction** are coalesced: the object is marked
+  dirty and serialized exactly once, at commit, when the dirty set is
+  flushed into the storage manager in **oid order** (a deterministic
+  sequence, so the crash-matrix write points stay reproducible);
+* **writes outside a transaction** pass straight through — autocommit
+  operations keep today's write points and durability.
+
+The cache registers itself with the storage manager
+(:meth:`~repro.storage.base.StorageManager.attach_cache`), which calls
+back on the events that would otherwise leave the cache stale:
+
+=================  ========================================================
+SM event           cache reaction
+=================  ========================================================
+``begin()``        drain pending writes, enter buffering (unit-of-work) mode
+``commit()``       drain (flush dirty objects, oid order) *before* pages go out
+``abort()``        invalidate everything — in-memory objects may carry
+                   mutations the undo journal just rolled back
+``delete(oid)``    evict the oid
+``recover()``      invalidate everything (surviving values re-read lazily)
+``drop_buffer()``  invalidate everything (cold-cache experiments mean cold)
+=================  ========================================================
+
+Cached objects are **shared**, not copied: a reader that mutates a
+record it got from the cache and then writes it back hands the cache the
+same object it already holds.  That is exactly LabBase's mutate-then-
+persist idiom; callers that treat reads as read-only (the documented
+contract) are unaffected.  Code that bypasses the cache and calls
+``sm.write`` directly must not run while a cache is attached — the
+hooks above cover every *other* mutation path.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+#: Default cache capacity in objects.  Sized so the default benchmark
+#: database's hot set (materials, buckets, sets, catalog) fits while the
+#: cold step records still churn — the same "hot fits, cold doesn't"
+#: shape the page-level buffer pool is tuned for.
+DEFAULT_CACHE_OBJECTS = 4096
+
+
+class ObjectCache:
+    """Unit-of-work object cache over one storage manager.
+
+    Parameters
+    ----------
+    sm:
+        The storage manager to cache over.  The cache attaches itself;
+        call :meth:`close` (or ``sm.detach_cache``) to unhook it.
+    capacity:
+        Maximum *clean* objects retained, LRU-evicted beyond that.
+        ``0`` disables read caching entirely (every read goes to the
+        storage manager) while keeping the unit-of-work write path —
+        this is ablation A4's "off" setting, and it is what makes the
+        cache-on/cache-off byte-identity guarantee hold: both settings
+        issue the identical storage-manager write sequence.
+    """
+
+    def __init__(self, sm, capacity: int = DEFAULT_CACHE_OBJECTS) -> None:
+        if capacity < 0:
+            raise ValueError("object-cache capacity must be >= 0")
+        self._sm = sm
+        self.capacity = capacity
+        self._clean: OrderedDict[int, object] = OrderedDict()
+        self._dirty: dict[int, object] = {}
+        self._in_txn = False
+        sm.attach_cache(self)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def storage(self):
+        """The underlying storage manager."""
+        return self._sm
+
+    @property
+    def stats(self):
+        """The storage manager's counter block (cache counters included)."""
+        return self._sm.stats
+
+    @property
+    def resident_objects(self) -> int:
+        return len(self._clean) + len(self._dirty)
+
+    @property
+    def dirty_objects(self) -> int:
+        return len(self._dirty)
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._in_txn
+
+    # -- object API (mirrors StorageManager) ---------------------------------
+
+    def read(self, oid: int) -> object:
+        """The live object for ``oid`` — dirty version first, then LRU,
+        then the storage manager (a miss admits the object)."""
+        if oid in self._dirty:
+            self._sm.stats.cache_hits += 1
+            return self._dirty[oid]
+        if oid in self._clean:
+            self._clean.move_to_end(oid)
+            self._sm.stats.cache_hits += 1
+            return self._clean[oid]
+        obj = self._sm.read(oid)
+        self._sm.stats.cache_misses += 1
+        self._admit(oid, obj)
+        return obj
+
+    def write(self, oid: int, obj: object) -> None:
+        """Record a new value for ``oid``.
+
+        Inside a transaction the write is buffered (a repeat write to the
+        same oid is *coalesced*: the earlier value is never serialized);
+        outside one it passes straight through to the storage manager.
+        """
+        if self._in_txn:
+            if oid in self._dirty:
+                self._sm.stats.cache_coalesced += 1
+            self._dirty[oid] = obj
+            self._clean.pop(oid, None)
+        else:
+            self._sm.write(oid, obj)
+            self._admit(oid, obj)
+
+    def allocate_write(self, obj: object, segment: str | None = None) -> int:
+        """Allocate eagerly (oid and page placement are assigned now, so
+        allocation order — and therefore the on-disk layout — is
+        identical with and without buffering) and cache the object."""
+        oid = self._sm.allocate_write(obj, segment=segment)
+        self._admit(oid, obj)
+        return oid
+
+    def delete(self, oid: int) -> None:
+        self._dirty.pop(oid, None)
+        self._clean.pop(oid, None)
+        self._sm.delete(oid)
+
+    def exists(self, oid: int) -> bool:
+        return self._sm.exists(oid)
+
+    def oids(self) -> Iterator[int]:
+        # Allocation is eager, so the SM's directory is always the full
+        # oid universe even mid-transaction.
+        return self._sm.oids()
+
+    # -- roots ---------------------------------------------------------------
+
+    def set_root(self, name: str, oid: int) -> None:
+        self._sm.set_root(name, oid)
+
+    def get_root(self, name: str) -> int | None:
+        return self._sm.get_root(name)
+
+    # -- transactions --------------------------------------------------------
+    #
+    # Pure forwards: the storage manager's begin/commit/abort notify every
+    # attached cache (drain / drain / invalidate), so going through the SM
+    # directly is exactly as safe as going through the handle.
+
+    def begin(self) -> None:
+        self._sm.begin()
+
+    def commit(self) -> None:
+        self._sm.commit()
+
+    def abort(self) -> None:
+        self._sm.abort()
+
+    # -- cache maintenance ---------------------------------------------------
+
+    def flush(self) -> int:
+        """Serialize and write every dirty object, in oid order.
+
+        Returns the number of objects written.  Idempotent; called by
+        the storage manager's commit/begin hooks.
+        """
+        if not self._dirty:
+            return 0
+        dirty, self._dirty = self._dirty, {}
+        for oid in sorted(dirty):
+            obj = dirty[oid]
+            self._sm.write(oid, obj)
+            self._admit(oid, obj)
+        return len(dirty)
+
+    def evict(self, oid: int, write_back: bool = True) -> None:
+        """Drop one oid from the cache, flushing it first if dirty.
+
+        Sessions use this on lock hand-off: the next reader must fetch
+        the object through the storage manager, as a real page-server
+        client would after another client's update.
+        """
+        if oid in self._dirty:
+            obj = self._dirty.pop(oid)
+            if write_back:
+                self._sm.write(oid, obj)
+        self._clean.pop(oid, None)
+
+    def invalidate(self) -> None:
+        """Drop everything, dirty included, without writing.
+
+        Used after abort/recover, where in-memory objects may hold
+        states the storage manager just rolled back.
+        """
+        self._dirty.clear()
+        self._clean.clear()
+
+    def close(self) -> None:
+        """Flush pending writes and detach from the storage manager."""
+        self.flush()
+        self._sm.detach_cache(self)
+
+    def _admit(self, oid: int, obj: object) -> None:
+        if self.capacity <= 0:
+            return
+        self._clean[oid] = obj
+        self._clean.move_to_end(oid)
+        while len(self._clean) > self.capacity:
+            self._clean.popitem(last=False)
+            self._sm.stats.cache_evictions += 1
+
+    # -- storage-manager hook callbacks --------------------------------------
+
+    def _on_sm_begin(self) -> None:
+        self._in_txn = True
+
+    def _on_sm_drain(self) -> None:
+        self.flush()
+
+    def _on_sm_txn_end(self) -> None:
+        self._in_txn = False
+
+    def _on_sm_invalidate(self) -> None:
+        self.invalidate()
+
+    def _on_sm_delete(self, oid: int) -> None:
+        self._dirty.pop(oid, None)
+        self._clean.pop(oid, None)

@@ -29,6 +29,10 @@ class StorageStats:
     lock_waits: int = 0          # ObjectStore: lock conflicts observed
     commits: int = 0
     aborts: int = 0
+    cache_hits: int = 0          # object-cache: reads served in memory
+    cache_misses: int = 0        # object-cache: reads that hit the SM
+    cache_coalesced: int = 0     # object-cache: writes absorbed pre-commit
+    cache_evictions: int = 0     # object-cache: LRU evictions of clean objects
 
     def reset(self) -> None:
         """Zero every counter (used between benchmark intervals)."""
@@ -53,6 +57,14 @@ class StorageStats:
         if accesses == 0:
             return 1.0
         return self.buffer_hits / accesses
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        """Object-cache hit ratio in [0, 1]; 1.0 when no reads occurred."""
+        accesses = self.cache_hits + self.cache_misses
+        if accesses == 0:
+            return 1.0
+        return self.cache_hits / accesses
 
 
 # Field list is part of the public contract: tests assert that no counter

@@ -235,3 +235,60 @@ def test_rebuild_recent_matches_scan_after_random_churn():
         if round_no % 10 == 9:
             check()
     check()
+
+
+# -- warm object cache (the PR-3 layer) -------------------------------------
+
+
+def test_history_scans_through_warm_cache_skip_the_store():
+    """steps_by_valid_time / scan_most_recent re-read every node and
+    step record per call; through a warm object cache the repeat calls
+    must not touch the storage manager at all."""
+    from repro.storage import ObjectCache
+
+    sm = OStoreMM()
+    cache = ObjectCache(sm, capacity=256)
+    history = HistoryStore(cache, None, chunk=4)
+    material = model.make_material("clone", "c-1", 0)
+    for t in range(20):
+        step = model.make_step(1, t, [("q", t)], [1])
+        history.append(material, cache.allocate_write(step))
+
+    cold_before = sm.stats.objects_read
+    first = history.steps_by_valid_time(material)
+    cold_reads = sm.stats.objects_read - cold_before
+    assert cold_reads == 0  # allocate through the cache pre-warmed it
+
+    cache.invalidate()  # start truly cold
+    cold_before = sm.stats.objects_read
+    first = history.steps_by_valid_time(material)
+    cold_reads = sm.stats.objects_read - cold_before
+    assert cold_reads > 0
+
+    warm_before = sm.stats.objects_read
+    again = history.steps_by_valid_time(material)
+    scan = history.scan_most_recent(material, "q")
+    warm_reads = sm.stats.objects_read - warm_before
+    assert warm_reads == 0          # the whole chain is served in memory
+    assert again == first           # identical answer
+    assert scan is not None and scan[0] == 19
+
+
+def test_capacity_zero_cache_scans_pay_full_price_every_time():
+    from repro.storage import ObjectCache
+
+    sm = OStoreMM()
+    cache = ObjectCache(sm, capacity=0)
+    history = HistoryStore(cache, None, chunk=4)
+    material = model.make_material("clone", "c-1", 0)
+    for t in range(12):
+        step = model.make_step(1, t, [("q", t)], [1])
+        history.append(material, cache.allocate_write(step))
+
+    before = sm.stats.objects_read
+    history.steps_by_valid_time(material)
+    first_cost = sm.stats.objects_read - before
+    before = sm.stats.objects_read
+    history.steps_by_valid_time(material)
+    second_cost = sm.stats.objects_read - before
+    assert first_cost == second_cost > 0  # A4 "off": no warm-cache help

@@ -133,3 +133,60 @@ def test_clear_empties_pool():
     pool.fetch(1)
     pool.clear()
     assert pool.resident_pages == 0
+
+
+class _ScanPool(BufferPool):
+    """Reference implementation: the pre-index O(n) victim scan.
+
+    The clean-page index must make evictions cheaper without changing a
+    single choice; this subclass preserves everything except the scan.
+    """
+
+    def _clean_lru_victim(self):
+        newest = next(reversed(self._pages), None)
+        for page_id, page in self._pages.items():  # oldest first
+            if page_id == newest:
+                continue
+            if not page.dirty:
+                return page_id
+        return None
+
+
+def test_victim_index_matches_reference_scan():
+    """Randomized op stream: residency, eviction order and overflow
+    accounting must be identical to the brute-force reference."""
+    import random
+
+    rng = random.Random(20260806)
+    pool_disk, ref_disk = _Disk(), _Disk()
+    pool = BufferPool(4, pool_disk.load, pool_disk.flush, StorageStats())
+    ref = _ScanPool(4, ref_disk.load, ref_disk.flush, StorageStats())
+
+    for step in range(2000):
+        action = rng.random()
+        page_id = rng.randrange(12)
+        if action < 0.55:
+            a = pool.fetch(page_id)
+            b = ref.fetch(page_id)
+            if rng.random() < 0.4:
+                # Page mutators flip dirty outside the pool's sight —
+                # exactly the staleness the lazy index must absorb.
+                a.dirty = True
+                b.dirty = True
+        elif action < 0.75:
+            page = Page(100 + step, 0)  # fresh pages are born dirty
+            twin = Page(100 + step, 0)
+            pool.admit_new(page)
+            ref.admit_new(twin)
+        elif action < 0.90:
+            pool.flush_dirty()
+            ref.flush_dirty()
+        elif action < 0.95:
+            pool.drop(page_id)
+            ref.drop(page_id)
+        else:
+            pool.drop_dirty()
+            ref.drop_dirty()
+        assert pool.resident_ids() == ref.resident_ids(), f"diverged at op {step}"
+        assert pool.overflow_high_water == ref.overflow_high_water
+    assert pool_disk.flushes == ref_disk.flushes

@@ -32,6 +32,7 @@ import pytest
 from repro.errors import InjectedCrashError, StorageError
 from repro.storage import (
     FaultInjector,
+    ObjectCache,
     ObjectStoreSM,
     OStoreMM,
     TexasSM,
@@ -85,12 +86,52 @@ def _workload(sm, snapshots, value_history):
         snapshots[sm.commit_epoch] = dict(live)
 
 
-def _count_write_points(cls, tmp_path) -> int:
+def _workload_cached(sm, snapshots, value_history):
+    """The same churn driven through a transactional object cache.
+
+    Each commit block runs as one unit of work: repeat writes to an oid
+    coalesce and the survivors are serialized at commit, in oid order.
+    Intermediate values never reach a page, but every value that *can*
+    reach a page is in ``value_history``, so the recovery audit's
+    no-invented-values rule applies unchanged.
+    """
+    rng = random.Random(42)
+    cache = ObjectCache(sm, capacity=64)
+    live: dict[int, object] = {}
+
+    def remember(oid, value):
+        live[oid] = value
+        value_history.setdefault(oid, []).append(value)
+
+    for commit_no in range(N_COMMITS):
+        cache.begin()
+        for _ in range(rng.randrange(1, 4)):
+            action = rng.random()
+            if action < 0.55 or not live:
+                if rng.random() < 0.15:
+                    value = {"big": "x" * 9000, "n": commit_no}
+                else:
+                    value = {"n": commit_no, "pad": "p" * rng.randrange(200)}
+                remember(cache.allocate_write(value), value)
+            elif action < 0.80:
+                oid = rng.choice(sorted(live))
+                value = {"rw": commit_no, "pad": "q" * rng.randrange(3000)}
+                cache.write(oid, value)
+                remember(oid, value)
+            else:
+                oid = rng.choice(sorted(live))
+                cache.delete(oid)
+                del live[oid]
+        cache.commit()
+        snapshots[sm.commit_epoch] = dict(live)
+
+
+def _count_write_points(cls, tmp_path, workload=_workload) -> int:
     """Run the workload once, never crashing, and count its writes."""
     injector = FaultInjector()  # counting mode
     path = os.path.join(tmp_path, "count.db")
     sm = cls(path=path, checkpoint_every=1, fault_injector=injector)
-    _workload(sm, {}, {})
+    workload(sm, {}, {})
     total = injector.writes_seen  # workload only: close() not counted
     sm.close()
     return total
@@ -141,6 +182,39 @@ def test_crash_matrix(cls, torn, tmp_path):
         with pytest.raises(InjectedCrashError):
             _workload(sm, snapshots, value_history)
         _audit_after_crash(cls, path, snapshots, value_history)
+
+
+@pytest.mark.parametrize("cls", PERSISTENT_CLASSES)
+@pytest.mark.parametrize("torn", [False, True], ids=["lost", "torn"])
+def test_crash_matrix_with_object_cache(cls, torn, tmp_path):
+    """The reopen trichotomy must survive coalesced commit writes."""
+    total = _count_write_points(cls, tmp_path, workload=_workload_cached)
+    assert total > N_COMMITS
+    for crash_at in range(0, total, _stride()):
+        path = os.path.join(tmp_path, f"ccrash_{int(torn)}_{crash_at}.db")
+        injector = FaultInjector(crash_after_writes=crash_at, torn_write=torn)
+        sm = cls(path=path, checkpoint_every=1, fault_injector=injector)
+        snapshots: dict[int, dict] = {}
+        value_history: dict[int, list] = {}
+        with pytest.raises(InjectedCrashError):
+            _workload_cached(sm, snapshots, value_history)
+        _audit_after_crash(cls, path, snapshots, value_history)
+
+
+@pytest.mark.parametrize("cls", PERSISTENT_CLASSES)
+def test_cached_workload_without_faults_is_clean(cls, tmp_path):
+    """Uninterrupted cached workload closes and reopens checkpoint-exact."""
+    path = os.path.join(tmp_path, "cached_clean.db")
+    sm = cls(path=path, checkpoint_every=1)
+    snapshots: dict[int, dict] = {}
+    _workload_cached(sm, snapshots, {})
+    final_epoch = sm.commit_epoch
+    sm.close()
+    reopened = cls(path=path)
+    reopened.verify().raise_if_bad()
+    actual = {oid: reopened.read(oid) for oid in reopened.oids()}
+    assert actual == snapshots[final_epoch]
+    reopened.close()
 
 
 @pytest.mark.parametrize("cls", PERSISTENT_CLASSES)
