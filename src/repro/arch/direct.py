@@ -12,6 +12,12 @@ using only flat records and linear scans — no most-recent index, no
 state sets, no key hashing.  Comparing it against LabBase on the same
 store (examples and the A1/E10 ablations) shows exactly what the
 wrapper buys, which is the paper's argument for Architecture (C).
+
+Storage-level batched I/O (segment-aware read-ahead and vectored commit
+writes, ablation A5) lives *below* this layer, inside the storage
+manager's buffer pool — so Architecture (A) benefits from it exactly as
+LabBase does, with no intervening software added.  Its linear scans are
+in fact the friendliest possible fault pattern for the prefetcher.
 """
 
 from __future__ import annotations

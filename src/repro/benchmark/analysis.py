@@ -104,7 +104,10 @@ def check_shapes(comparison: ComparisonResult) -> list[ShapeCheck]:
         checks.append(ShapeCheck(
             "S5", "Texas+TC user CPU >= OStore user CPU (clustering in "
                   "client code)",
-            tc_cpu >= ostore_cpu * 0.95,  # 5% measurement slack
+            # 5% relative slack, plus two os.times clock ticks: at tiny
+            # scale the totals are ~0.1 s and the 10 ms granularity
+            # alone can flip the raw comparison.
+            tc_cpu >= ostore_cpu * 0.95 - 0.02,
             f"{tc_cpu:.3f}s vs {ostore_cpu:.3f}s",
         ))
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.errors import ConfigError
+from repro.storage.buffer import DEFAULT_READAHEAD_PAGES
 from repro.storage.objcache import DEFAULT_CACHE_OBJECTS
 
 #: Paper column order for the five server versions.
@@ -51,6 +52,10 @@ class BenchmarkConfig:
     #: object-cache capacity (ablation A4): 0 = off (reads always hit the
     #: storage manager; the unit-of-work write path is identical either way)
     object_cache: int = DEFAULT_CACHE_OBJECTS
+    #: read-ahead window in pages (ablation A5): 0 = off, which also
+    #: disables vectored commit writes — the single batched-I/O switch.
+    #: Database bytes and query answers are identical either way.
+    readahead: int = DEFAULT_READAHEAD_PAGES
     #: directory for database files; None = in-memory page files
     db_dir: str | None = None
 
@@ -73,6 +78,8 @@ class BenchmarkConfig:
             raise ConfigError("buffer_pages must be positive")
         if self.object_cache < 0:
             raise ConfigError("object_cache must be >= 0 (0 disables it)")
+        if self.readahead < 0:
+            raise ConfigError("readahead must be >= 0 (0 disables batched I/O)")
         if self.blast_mean_hits < 0 or self.blast_max_hits < self.blast_mean_hits:
             raise ConfigError("invalid BLAST hit-list sizing")
 

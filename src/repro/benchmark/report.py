@@ -66,6 +66,10 @@ def render_stats(
         "buffer_hits",
         "page_reads",
         "page_writes",
+        "pages_prefetched",
+        "prefetch_hits",
+        "io_batches",
+        "meta_bytes_written",
         "swizzle_operations",
         "objects_read",
         "objects_written",

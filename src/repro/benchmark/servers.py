@@ -28,7 +28,7 @@ class ServerSpec:
     name: str
     persistent: bool
     description: str
-    _factory: Callable[[str | None, int], StorageManager]
+    _factory: Callable[[str | None, int, int], StorageManager]
 
     def make(self, config: BenchmarkConfig) -> StorageManager:
         """Construct the storage manager per the benchmark config."""
@@ -37,7 +37,7 @@ class ServerSpec:
             os.makedirs(config.db_dir, exist_ok=True)
             filename = self.name.replace("+", "_").lower() + ".db"
             path = os.path.join(config.db_dir, filename)
-        return self._factory(path, config.buffer_pages)
+        return self._factory(path, config.buffer_pages, config.readahead)
 
 
 _SPECS: dict[str, ServerSpec] = {
@@ -45,31 +45,37 @@ _SPECS: dict[str, ServerSpec] = {
         name="OStore",
         persistent=True,
         description="ObjectStore-style: segments, dense pages, page server",
-        _factory=lambda path, pages: ObjectStoreSM(path=path, buffer_pages=pages),
+        _factory=lambda path, pages, readahead: ObjectStoreSM(
+            path=path, buffer_pages=pages, readahead_pages=readahead
+        ),
     ),
     "Texas+TC": ServerSpec(
         name="Texas+TC",
         persistent=True,
         description="Texas plus client-code object clustering",
-        _factory=lambda path, pages: TexasTCSM(path=path, buffer_pages=pages),
+        _factory=lambda path, pages, readahead: TexasTCSM(
+            path=path, buffer_pages=pages, readahead_pages=readahead
+        ),
     ),
     "Texas": ServerSpec(
         name="Texas",
         persistent=True,
         description="Texas-style: one heap, power-of-two cells, swizzling",
-        _factory=lambda path, pages: TexasSM(path=path, buffer_pages=pages),
+        _factory=lambda path, pages, readahead: TexasSM(
+            path=path, buffer_pages=pages, readahead_pages=readahead
+        ),
     ),
     "OStore-mm": ServerSpec(
         name="OStore-mm",
         persistent=False,
         description="main memory, ObjectStore-flavoured API",
-        _factory=lambda path, pages: OStoreMM(),
+        _factory=lambda path, pages, readahead: OStoreMM(),
     ),
     "Texas-mm": ServerSpec(
         name="Texas-mm",
         persistent=False,
         description="main memory, Texas-flavoured API",
-        _factory=lambda path, pages: TexasMM(),
+        _factory=lambda path, pages, readahead: TexasMM(),
     ),
 }
 

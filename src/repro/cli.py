@@ -82,12 +82,41 @@ def _add_object_cache_flag(parser) -> None:
     )
 
 
+def _readahead_window(value: str) -> int:
+    """Parse ``--readahead on|off|N`` into a page window (A5 knob)."""
+    from repro.storage import DEFAULT_READAHEAD_PAGES
+
+    if value == "on":
+        return DEFAULT_READAHEAD_PAGES
+    if value == "off":
+        return 0
+    try:
+        window = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected 'on', 'off' or a page count, got {value!r}"
+        ) from None
+    if window < 0:
+        raise argparse.ArgumentTypeError("readahead window must be >= 0")
+    return window
+
+
+def _add_readahead_flag(parser) -> None:
+    parser.add_argument(
+        "--readahead", type=_readahead_window, default="on",
+        metavar="on|off|N",
+        help="read-ahead window in pages: on (default), off (also disables "
+             "vectored commit writes), or an explicit window",
+    )
+
+
 def _config(args) -> BenchmarkConfig:
     return BenchmarkConfig(
         clones_per_interval=args.clones,
         seed=args.seed,
         db_dir=args.db_dir,
         object_cache=args.object_cache,
+        readahead=args.readahead,
     )
 
 
@@ -194,7 +223,8 @@ def cmd_replay(args) -> int:
 
     with open(args.trace) as fp:
         trace = Trace.load(fp)
-    config = BenchmarkConfig(db_dir=args.db_dir, object_cache=args.object_cache)
+    config = BenchmarkConfig(db_dir=args.db_dir, object_cache=args.object_cache,
+                             readahead=args.readahead)
     sm = server_spec(args.server).make(config)
     db = LabBase(sm, object_cache=config.object_cache)
     meter = ResourceMeter(fault_source=sm.stats)
@@ -313,6 +343,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--db-dir", default=None,
                        help="directory for database files (default: in-memory)")
         _add_object_cache_flag(p)
+        _add_readahead_flag(p)
 
     p = sub.add_parser("compare", help="the Section 10 five-server table")
     add_scale(p)
@@ -351,6 +382,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--server", choices=SERVER_ORDER, default="OStore")
     p.add_argument("--db-dir", default=None)
     _add_object_cache_flag(p)
+    _add_readahead_flag(p)
     p.set_defaults(func=cmd_replay)
 
     p = sub.add_parser("verify", help="check a database file's integrity")

@@ -176,9 +176,7 @@ class SessionManager:
             self._sm.unlock_page(client, page_id)
 
     def _pages_of(self, oid: int) -> list[int]:
-        entry = self._sm._entry(oid)
-        locations = entry[1] if entry[0] == "L" else [entry]
-        return [page_id for page_id, _slot in locations]
+        return self._sm.pages_of(oid)
 
     def release(self, client: str) -> int:
         if not self._sm.supports_concurrency:

@@ -17,7 +17,11 @@ LabBase (and any application) runs unchanged over each.
 """
 
 from repro.storage.base import PagedStorageManager, StorageManager
-from repro.storage.buffer import DEFAULT_POOL_PAGES, BufferPool
+from repro.storage.buffer import (
+    DEFAULT_POOL_PAGES,
+    DEFAULT_READAHEAD_PAGES,
+    BufferPool,
+)
 from repro.storage.clustered import TexasTCSM
 from repro.storage.faultinject import FaultInjector, FaultyPageFile
 from repro.storage.locks import LockManager, LockMode
@@ -42,6 +46,7 @@ __all__ = [
     "TexasMM",
     "BufferPool",
     "DEFAULT_POOL_PAGES",
+    "DEFAULT_READAHEAD_PAGES",
     "LockManager",
     "LockMode",
     "Page",

@@ -22,6 +22,7 @@ pool, and the simulated disk.  Concrete managers differ only in the
 from __future__ import annotations
 
 import abc
+import pickle
 from typing import Iterator
 
 from repro.errors import (
@@ -32,7 +33,11 @@ from repro.errors import (
     UnknownOidError,
     UnknownSegmentError,
 )
-from repro.storage.buffer import DEFAULT_POOL_PAGES, BufferPool
+from repro.storage.buffer import (
+    DEFAULT_POOL_PAGES,
+    DEFAULT_READAHEAD_PAGES,
+    BufferPool,
+)
 from repro.storage.disk import PageFile
 from repro.storage.page import (
     MAX_RECORD_BYTES,
@@ -157,6 +162,19 @@ class StorageManager(abc.ABC):
     def oids(self) -> Iterator[int]:
         """Iterate every stored oid (testing / integrity checks)."""
 
+    def pages_of(self, oid: int) -> list[int]:
+        """Page ids holding an object's record(s), in storage order.
+
+        Part of the public API so layers above (the lock manager maps
+        oids to page-granularity locks) need not reach into directory
+        internals.  Managers without paged storage hold objects in no
+        page at all and return an empty list; an unknown oid raises
+        :class:`UnknownOidError` either way.
+        """
+        if not self.exists(oid):
+            raise UnknownOidError(oid)
+        return []
+
     # -- roots ---------------------------------------------------------------
 
     @abc.abstractmethod
@@ -226,6 +244,7 @@ class PagedStorageManager(StorageManager):
         charge_policy: ChargePolicy = exact_charge,
         checkpoint_every: int = 0,
         fault_injector=None,
+        readahead_pages: int = DEFAULT_READAHEAD_PAGES,
     ) -> None:
         """``checkpoint_every``: persist metadata every N commits
         (0 = only on close/explicit checkpoint).  Data pages are always
@@ -235,24 +254,41 @@ class PagedStorageManager(StorageManager):
         ``fault_injector``: a ``repro.storage.faultinject.FaultInjector``
         that makes the disk layer crash deterministically mid-workload
         (crash-consistency testing).
+
+        ``readahead_pages``: window for segment-aware read-ahead, and
+        the single switch for batched I/O overall — 0 turns off both
+        the prefetcher and vectored commit writes (every transfer is
+        then one page, the pre-batching behaviour).  Batching changes
+        how pages travel, never which bytes land where: database files
+        are bit-identical either way.
         """
+        if readahead_pages < 0:
+            raise ValueError("readahead_pages must be >= 0")
         self.stats = StorageStats()
         self.checkpoint_every = checkpoint_every
         self._commits_since_checkpoint = 0
         self._charge = charge_policy
         self._chunk_payload_bytes = self._compute_chunk_payload(charge_policy)
+        self._readahead_pages = readahead_pages
+        self._pages_flushed_since_checkpoint = False
+        self._last_checkpoint_image: bytes | None = None
         if fault_injector is not None:
             from repro.storage.faultinject import FaultyPageFile
 
             self._disk = FaultyPageFile(path, fault_injector)
         else:
             self._disk = PageFile(path)
+        batched = readahead_pages > 0
         self._pool = BufferPool(
             capacity_pages=buffer_pages,
             load_page=self._load_page,
             flush_page=self._flush_page,
             stats=self.stats,
             fault_hook=self._on_fault,
+            read_pages=self._disk.read_pages if batched else None,
+            flush_pages=self._flush_pages if batched else None,
+            readahead_pages=readahead_pages,
+            prefetch_run=self._prefetch_run if batched else None,
         )
         self._closed = False
         self._in_txn = False
@@ -293,6 +329,10 @@ class PagedStorageManager(StorageManager):
             # checkpoint never heard of (epoch beyond the blob's).
             self._disk.epoch = self._meta_epoch + 1
             self._open_problems = self._disk.epoch_issues(self._meta_epoch)
+            # The restored state *is* the checkpointed state: a close with
+            # no intervening writes can skip rewriting the blob.
+            self._last_checkpoint_image = self._checkpoint_image()
+        self._index_pages()
 
     # -- metadata persistence ---------------------------------------------------
 
@@ -328,13 +368,50 @@ class PagedStorageManager(StorageManager):
 
     def _flush_page(self, page: Page) -> None:
         self._disk.write_page(page.page_id, page.to_bytes())
+        self._pages_flushed_since_checkpoint = True
+
+    def _flush_pages(self, start_page_id: int, pages: list[Page]) -> None:
+        """Vectored write-back for a contiguous ascending page run."""
+        self._disk.write_pages(
+            start_page_id, [page.to_bytes() for page in pages]
+        )
+        self._pages_flushed_since_checkpoint = True
 
     def _on_fault(self, page: Page) -> None:
         """Policy hook: called once per buffer-pool miss."""
 
+    def _prefetch_run(self, page_id: int) -> tuple[int, int]:
+        """Segment-aware read-ahead policy: what follows a faulting page.
+
+        The run is the faulting page's *own segment's* contiguous pages —
+        read-ahead never crosses into a neighbouring segment, because a
+        sequential scan of clustered data stays inside its segment and
+        pages beyond the boundary belong to someone else's working set.
+        For managers that ignore placement (Texas) everything lives in
+        the single default segment, so the policy degrades naturally to
+        flat-heap read-ahead over allocation order.
+        """
+        segment = self._page_segments.get(page_id)
+        if segment is None:
+            return page_id + 1, 0
+        run = segment.contiguous_run_after(page_id, self._readahead_pages)
+        # Never speculate past the end of the file: trailing pages of the
+        # run may be allocated but not yet flushed (resident-only).
+        run = min(run, max(0, self._disk.page_count - (page_id + 1)))
+        return page_id + 1, run
+
+    def _index_pages(self) -> None:
+        """(Re)build the page -> segment map the prefetcher consults."""
+        self._page_segments = {
+            page_id: segment
+            for segment in self._segments.values()
+            for page_id in segment.page_ids
+        }
+
     def _new_page(self, segment: Segment) -> Page:
         page = Page(self._page_alloc.allocate(), segment.segment_id)
         segment.add_page(page.page_id)
+        self._page_segments[page.page_id] = segment
         self._pool.admit_new(page)
         return page
 
@@ -504,6 +581,13 @@ class PagedStorageManager(StorageManager):
         self._check_open()
         return iter(list(self._directory))
 
+    def pages_of(self, oid: int) -> list[int]:
+        """Page ids holding the object's record, chunk order for large ones."""
+        self._check_open()
+        entry = self._entry(oid)
+        locations = entry[1] if entry[0] == "L" else [entry]
+        return [page_id for page_id, _slot in locations]
+
     # -- roots ----------------------------------------------------------------------
 
     def set_root(self, name: str, oid: int) -> None:
@@ -592,6 +676,7 @@ class PagedStorageManager(StorageManager):
             segment = Segment.from_meta(seg_meta)
             self._segments[segment.name] = segment
             self._segment_by_id[segment.segment_id] = segment
+        self._index_pages()
         self._undo_dir = None
         self._undo_small = None
         self._in_txn = False
@@ -608,6 +693,17 @@ class PagedStorageManager(StorageManager):
         self._pool.flush_dirty()
         self._write_checkpoint()
 
+    def _checkpoint_image(self) -> bytes:
+        """Canonical image of the metadata, epoch excluded.
+
+        The epoch advances with every checkpoint, so comparing raw blobs
+        would never find two equal; everything *else* being unchanged is
+        what makes a checkpoint redundant.
+        """
+        probe = self._meta()
+        probe.pop("epoch", None)
+        return pickle.dumps(probe, protocol=4)
+
     def _write_checkpoint(self) -> None:
         """Persist metadata and advance the commit epoch.
 
@@ -615,11 +711,28 @@ class PagedStorageManager(StorageManager):
         subsequent page writes get the next epoch, so a later crash
         leaves those pages detectably "from the future" relative to
         this checkpoint.
+
+        Redundant checkpoints are skipped: with ``checkpoint_every=1``
+        a read-mostly phase would otherwise re-pickle and rewrite the
+        whole blob — directory, roots, segment maps — every commit.
+        Skipping is only legal when no page was flushed since the last
+        checkpoint either; flushed pages carry the *current* epoch, and
+        a checkpoint must land to ratify it, otherwise a reopen would
+        flag them as from-the-future orphans of a checkpoint that never
+        happened.
         """
-        self._disk.write_meta(self._meta())
+        image = self._checkpoint_image()
+        if (
+            image == self._last_checkpoint_image
+            and not self._pages_flushed_since_checkpoint
+        ):
+            return
+        self.stats.meta_bytes_written += self._disk.write_meta(self._meta())
         self._disk.sync()
         self._meta_epoch = self._disk.epoch
         self._disk.epoch += 1
+        self._last_checkpoint_image = image
+        self._pages_flushed_since_checkpoint = False
 
     @property
     def commit_epoch(self) -> int:
@@ -674,6 +787,10 @@ class PagedStorageManager(StorageManager):
                 self._disk.clear_page(page_id)
                 for segment in self._segments.values():
                     segment.remove_page(page_id)
+                self._page_segments.pop(page_id, None)
+                # The zero-fill changed disk bytes relative to the last
+                # checkpoint; the closing checkpoint must not be skipped.
+                self._pages_flushed_since_checkpoint = True
         dropped = 0
         for oid in list(self._directory):
             entry = self._directory[oid]
@@ -699,6 +816,13 @@ class PagedStorageManager(StorageManager):
         # and clear the problems recorded at open.  Cached objects may
         # reference dropped state — surviving values re-read lazily.
         self._invalidate_caches()
+        # Force the checkpoint even if the metadata is unchanged: pages
+        # flushed by post-checkpoint commits the crash orphaned carry a
+        # newer epoch, and only a fresh checkpoint ratifies them (an
+        # in-place overwrite leaves the directory identical, so the
+        # redundancy check alone would skip it and the pages would be
+        # flagged "from the future" again at the next reopen).
+        self._pages_flushed_since_checkpoint = True
         self._flush_all()
         self._open_problems = []
         return {
@@ -760,6 +884,4 @@ class PagedStorageManager(StorageManager):
 
 def len_meta(manager: PagedStorageManager) -> int:
     """Current metadata blob size without persisting it."""
-    import pickle
-
     return len(pickle.dumps(manager._meta(), protocol=4))

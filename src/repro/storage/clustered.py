@@ -8,6 +8,12 @@ with the segment hints *honoured* — the clustering the client code
 achieved by steering allocations — at the price of extra client CPU per
 allocation, which is why Texas+TC shows the highest user-CPU column in
 the paper's table.
+
+Because the hints are honoured, the storage layer's segment-aware
+read-ahead sees real clustering here: a cold scan of a Texas+TC segment
+streams in long contiguous runs like OStore's, while plain Texas — same
+storage manager, hints ignored — only gets runs as long as allocation
+order happens to provide.
 """
 
 from __future__ import annotations

@@ -169,7 +169,52 @@ class PageFile:
         _image, epoch = self._check_image(page_id, raw)
         return epoch
 
-    def write_page(self, page_id: int, image: bytes) -> None:
+    def read_pages(self, start_page_id: int, count: int) -> list[bytes | None]:
+        """Vectored read: ``count`` contiguous pages in one backend transfer.
+
+        Unlike :meth:`read_page`, hole (never-written) pages come back as
+        ``None`` rather than raising — a speculative read-ahead batch may
+        legitimately cross a hole, and the caller skips it.  A torn page
+        (trailer or checksum failure) still raises, and so does a range
+        reaching beyond the end of the store; read-ahead callers clamp
+        the range and treat the error as "abandon the batch".
+        """
+        if count < 0:
+            raise StorageError(f"negative page count {count}")
+        if start_page_id < 0 or start_page_id + count > self._page_count:
+            raise StorageError(
+                f"pages [{start_page_id}, {start_page_id + count}) reach "
+                "beyond end of store"
+            )
+        if self._file is None:
+            raws = [
+                self._mem.get(page_id)
+                for page_id in range(start_page_id, start_page_id + count)
+            ]
+        else:
+            self._file.seek(start_page_id * PAGE_SIZE)
+            blob = self._file.read(count * PAGE_SIZE)
+            if len(blob) != count * PAGE_SIZE:
+                raise StorageError(
+                    f"short read on pages [{start_page_id}, "
+                    f"{start_page_id + count})"
+                )
+            raws = [
+                None if raw == _ZERO_PAGE else raw
+                for raw in (
+                    blob[i * PAGE_SIZE:(i + 1) * PAGE_SIZE] for i in range(count)
+                )
+            ]
+        images: list[bytes | None] = []
+        for offset, raw in enumerate(raws):
+            if raw is None:
+                images.append(None)
+            else:
+                image, _epoch = self._check_image(start_page_id + offset, raw)
+                images.append(image)
+        return images
+
+    def _require_writable_image(self, page_id: int, image: bytes) -> None:
         if len(image) != PAGE_SIZE:
             raise StorageError(
                 f"page image must be exactly {PAGE_SIZE} bytes, got {len(image)}"
@@ -179,7 +224,39 @@ class PageFile:
                 f"page {page_id}: the last {PAGE_TRAILER_BYTES} bytes are "
                 "reserved for the commit-epoch trailer and must be zero"
             )
+
+    def write_page(self, page_id: int, image: bytes) -> None:
+        self._require_writable_image(page_id, image)
         self._put_image(page_id, self._stamp(image))
+
+    def write_pages(self, start_page_id: int, images: list[bytes]) -> None:
+        """Vectored write: contiguous page images in one backend transfer.
+
+        Byte-for-byte equivalent to calling :meth:`write_page` once per
+        image in ascending page-id order — same stamps, same trailer,
+        same resulting file — so commit batching cannot change what ends
+        up on disk, only how many transfers carry it there.
+        """
+        if not images:
+            return
+        for offset, image in enumerate(images):
+            self._require_writable_image(start_page_id + offset, image)
+        stamped = [self._stamp(image) for image in images]
+        if self._file is None:
+            for offset, item in enumerate(stamped):
+                self._mem[start_page_id + offset] = item
+        else:
+            if start_page_id > self._page_count:
+                # Zero-fill the gap explicitly, exactly like write_page,
+                # so hole pages stay well-defined on every filesystem.
+                self._file.seek(self._page_count * PAGE_SIZE)
+                self._file.write(
+                    b"\0" * ((start_page_id - self._page_count) * PAGE_SIZE)
+                )
+            self._file.seek(start_page_id * PAGE_SIZE)
+            self._file.write(b"".join(stamped))
+        if start_page_id + len(images) > self._page_count:
+            self._page_count = start_page_id + len(images)
 
     def clear_page(self, page_id: int) -> None:
         """Reset a page to never-written (recovery discards torn pages)."""
@@ -229,15 +306,24 @@ class PageFile:
         return None if self.path is None else self.path + ".meta"
 
     def write_meta(self, meta: dict) -> int:
-        """Persist the metadata blob atomically; returns its size in bytes.
+        """Persist the metadata blob atomically; returns bytes written.
 
         The blob is written to a ``.meta.tmp`` side file, fsync'd, then
         renamed over the ``.meta`` file, so a crash at any point leaves
         either the old blob or the new one — never a truncated blob that
         would make the store look freshly created (or fail to unpickle)
         on reopen.
+
+        A blob identical to the last one this handle wrote is skipped
+        (the durable copy is already that blob) and reported as ``0``
+        bytes written — checkpoint-heavy read-mostly periods then cost
+        no metadata I/O.  ``meta_size_bytes`` still reports the blob's
+        size either way.
         """
         blob = pickle.dumps(meta, protocol=4)
+        self._meta_size = len(blob)
+        if blob == getattr(self, "_last_meta_blob", None):
+            return 0
         meta_path = self._meta_path()
         if meta_path is None:
             self._mem_meta = blob
@@ -248,7 +334,7 @@ class PageFile:
                 handle.flush()
                 os.fsync(handle.fileno())
             os.replace(tmp_path, meta_path)
-        self._meta_size = len(blob)
+        self._last_meta_blob = blob
         return len(blob)
 
     def read_meta(self) -> dict | None:

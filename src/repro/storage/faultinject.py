@@ -93,6 +93,18 @@ class FaultyPageFile(PageFile):
             self.injector.check_alive()
         super().write_page(page_id, image)
 
+    def write_pages(self, start_page_id: int, images: list[bytes]) -> None:
+        """Decompose a vectored write into per-page write points.
+
+        A real power cut can land between any two sector-aligned page
+        writes of one batch, so the crash schedule must expose the same
+        write points whether the commit path batches or not — that is
+        what keeps ``crash_after_writes=N`` meaning the same crash with
+        vectored commit I/O on or off.
+        """
+        for offset, image in enumerate(images):
+            self.write_page(start_page_id + offset, image)
+
     def _tear_page(self, page_id: int, image: bytes) -> None:
         """Land the front half of the stamped image over the old page."""
         stamped = self._stamp(image)
@@ -116,6 +128,10 @@ class FaultyPageFile(PageFile):
     def read_page(self, page_id: int) -> bytes:
         self.injector.check_alive()
         return super().read_page(page_id)
+
+    def read_pages(self, start_page_id: int, count: int) -> list[bytes | None]:
+        self.injector.check_alive()
+        return super().read_pages(start_page_id, count)
 
     def read_meta(self) -> dict | None:
         self.injector.check_alive()

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from repro.errors import StorageError
 from repro.storage.base import PagedStorageManager
-from repro.storage.buffer import DEFAULT_POOL_PAGES
+from repro.storage.buffer import DEFAULT_POOL_PAGES, DEFAULT_READAHEAD_PAGES
 from repro.storage.locks import LockManager, LockMode
 from repro.storage.page import exact_charge
 
@@ -37,6 +37,7 @@ class ObjectStoreSM(PagedStorageManager):
         buffer_pages: int = DEFAULT_POOL_PAGES,
         checkpoint_every: int = 0,
         fault_injector=None,
+        readahead_pages: int = DEFAULT_READAHEAD_PAGES,
     ) -> None:
         super().__init__(
             path=path,
@@ -44,6 +45,7 @@ class ObjectStoreSM(PagedStorageManager):
             charge_policy=exact_charge,
             checkpoint_every=checkpoint_every,
             fault_injector=fault_injector,
+            readahead_pages=readahead_pages,
         )
         self._lock_manager = LockManager(self.stats)
         self._clients: set[str] = set()

@@ -63,7 +63,7 @@ class Page:
     """
 
     __slots__ = ("page_id", "segment_id", "_records", "_charges",
-                 "_next_slot", "used_bytes", "dirty")
+                 "_next_slot", "used_bytes", "_dirty", "dirty_listener")
 
     def __init__(self, page_id: int, segment_id: int) -> None:
         self.page_id = page_id
@@ -72,7 +72,22 @@ class Page:
         self._charges: dict[int, int] = {}
         self._next_slot = 0
         self.used_bytes = PAGE_HEADER_BYTES
+        self.dirty_listener: Callable[[int], None] | None = None
         self.dirty = True  # fresh pages must reach disk
+
+    @property
+    def dirty(self) -> bool:
+        return self._dirty
+
+    @dirty.setter
+    def dirty(self, value: bool) -> None:
+        # Mutators flip this flag outside the buffer pool's sight; the
+        # listener (installed by the pool at admission) is what lets the
+        # pool keep a dirty-page set so commits cost O(dirty pages)
+        # instead of a sort of every resident page.
+        self._dirty = value
+        if value and self.dirty_listener is not None:
+            self.dirty_listener(self.page_id)
 
     # -- space accounting ---------------------------------------------------
 

@@ -12,6 +12,7 @@ fill holes left by deletions before extending the store.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 
 #: Pages with at least this much free space are allocation candidates.
@@ -67,6 +68,33 @@ class Segment:
 
     def drop_candidate(self, page_id: int) -> None:
         self._free_candidates.discard(page_id)
+
+    def contiguous_run_after(self, page_id: int, limit: int) -> int:
+        """Length of this segment's contiguous page run after ``page_id``.
+
+        ``page_ids`` is ascending by construction (pages come from a
+        monotonic allocator and are appended at allocation), so a binary
+        search finds the successor and the run is counted off directly.
+        The run is what a segment-aware read-ahead can pull in a single
+        vectored transfer: it ends, capped at ``limit``, at the first
+        page id owned by a *different* segment — which is why clustered
+        stores stream a cold segment scan while an unclustered heap's
+        interleaved pages cut every run short.
+        """
+        if limit <= 0:
+            return 0
+        index = bisect.bisect_right(self.page_ids, page_id)
+        count = 0
+        expected = page_id + 1
+        while (
+            index < len(self.page_ids)
+            and count < limit
+            and self.page_ids[index] == expected
+        ):
+            count += 1
+            index += 1
+            expected += 1
+        return count
 
     def to_meta(self) -> dict:
         """Plain-data form for the store's metadata record."""

@@ -33,6 +33,10 @@ class StorageStats:
     cache_misses: int = 0        # object-cache: reads that hit the SM
     cache_coalesced: int = 0     # object-cache: writes absorbed pre-commit
     cache_evictions: int = 0     # object-cache: LRU evictions of clean objects
+    pages_prefetched: int = 0    # read-ahead: pages staged by vectored reads
+    prefetch_hits: int = 0       # read-ahead: faults absorbed by staged pages
+    io_batches: int = 0          # vectored disk transfers (>= 2 pages each)
+    meta_bytes_written: int = 0  # checkpoint blob bytes physically written
 
     def reset(self) -> None:
         """Zero every counter (used between benchmark intervals)."""

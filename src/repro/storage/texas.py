@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from repro.errors import ConcurrencyUnsupportedError
 from repro.storage.base import PagedStorageManager
-from repro.storage.buffer import DEFAULT_POOL_PAGES
+from repro.storage.buffer import DEFAULT_POOL_PAGES, DEFAULT_READAHEAD_PAGES
 from repro.storage.page import Page, power_of_two_charge
 
 
@@ -45,6 +45,7 @@ class TexasSM(PagedStorageManager):
         buffer_pages: int = DEFAULT_POOL_PAGES,
         checkpoint_every: int = 0,
         fault_injector=None,
+        readahead_pages: int = DEFAULT_READAHEAD_PAGES,
     ) -> None:
         super().__init__(
             path=path,
@@ -52,6 +53,7 @@ class TexasSM(PagedStorageManager):
             charge_policy=power_of_two_charge,
             checkpoint_every=checkpoint_every,
             fault_injector=fault_injector,
+            readahead_pages=readahead_pages,
         )
         self._client: str | None = None
 

@@ -197,3 +197,20 @@ def test_shell_handles_eof(tmp_path, capsys, monkeypatch):
 
     monkeypatch.setattr("builtins.input", raise_eof)
     assert main(["shell", db_path]) == 0
+
+
+def test_readahead_flag_parses_on_off_and_window(capsys, tmp_path):
+    for flag, window in (("on", None), ("off", 0), ("4", 4)):
+        assert main([
+            "compare", "--clones", "2", "--db-dir",
+            str(tmp_path / f"ra_{flag}"), "--servers", "OStore",
+            "--readahead", flag,
+        ]) == 0
+        capsys.readouterr()
+
+
+def test_readahead_flag_rejects_garbage():
+    with pytest.raises(SystemExit):
+        main(["compare", "--clones", "2", "--readahead", "many"])
+    with pytest.raises(SystemExit):
+        main(["compare", "--clones", "2", "--readahead", "-3"])

@@ -190,3 +190,244 @@ def test_victim_index_matches_reference_scan():
         assert pool.resident_ids() == ref.resident_ids(), f"diverged at op {step}"
         assert pool.overflow_high_water == ref.overflow_high_water
     assert pool_disk.flushes == ref_disk.flushes
+
+
+class _LegacyFlushPool(BufferPool):
+    """Reference implementation: the pre-dirty-set commit flush.
+
+    The original flush sorted *every* resident page and probed its dirty
+    flag; the dirty-set flush must issue the identical write sequence
+    and leave identical residency while looking only at dirty pages.
+    """
+
+    def flush_dirty(self):
+        from collections import OrderedDict
+
+        written = 0
+        for page_id in sorted(self._pages):
+            page = self._pages[page_id]
+            if page.dirty:
+                self._flush_page(page)
+                page.dirty = False
+                written += 1
+        self._stats.page_writes += written
+        self._clean = OrderedDict((page_id, None) for page_id in self._pages)
+        self._evict_if_needed()
+        return written
+
+
+def test_dirty_set_flush_matches_legacy_full_sort():
+    """Randomized op stream: the O(dirty) flush must write the same
+    pages in the same order and keep residency identical to the
+    sort-everything reference."""
+    import random
+
+    rng = random.Random(19960806)
+    pool_disk, ref_disk = _Disk(), _Disk()
+    pool_stats, ref_stats = StorageStats(), StorageStats()
+    pool = BufferPool(4, pool_disk.load, pool_disk.flush, pool_stats)
+    ref = _LegacyFlushPool(4, ref_disk.load, ref_disk.flush, ref_stats)
+
+    for step in range(2000):
+        action = rng.random()
+        page_id = rng.randrange(12)
+        if action < 0.50:
+            a = pool.fetch(page_id)
+            b = ref.fetch(page_id)
+            if rng.random() < 0.4:
+                a.dirty = True
+                b.dirty = True
+        elif action < 0.70:
+            pool.admit_new(Page(100 + step, 0))
+            ref.admit_new(Page(100 + step, 0))
+        elif action < 0.90:
+            assert pool.flush_dirty() == ref.flush_dirty()
+        elif action < 0.95:
+            pool.drop(page_id)
+            ref.drop(page_id)
+        else:
+            assert pool.drop_dirty() == ref.drop_dirty()
+        assert pool.resident_ids() == ref.resident_ids(), f"diverged at op {step}"
+    assert pool_disk.flushes == ref_disk.flushes
+    assert pool_stats.page_writes == ref_stats.page_writes
+
+
+def test_flush_with_no_dirty_pages_writes_nothing():
+    pool, disk, stats = _pool()
+    pool.fetch(1)
+    pool.fetch(2)
+    assert pool.flush_dirty() == 0
+    assert not disk.flushes
+    assert stats.page_writes == 0
+
+
+# -- read-ahead ---------------------------------------------------------------
+
+
+class _ByteDisk:
+    """Fake disk serving raw page images, with vectored read/write."""
+
+    def __init__(self, n_pages=32):
+        self.images: dict[int, bytes] = {}
+        self.loads: list[int] = []
+        self.vector_reads: list[tuple[int, int]] = []
+        self.flushes: list[int] = []
+        self.vector_writes: list[tuple[int, int]] = []
+        for page_id in range(n_pages):
+            page = Page(page_id, 0)
+            self.images[page_id] = page.to_bytes()
+
+    @property
+    def page_count(self):
+        return max(self.images, default=-1) + 1
+
+    def load(self, page_id: int) -> Page:
+        self.loads.append(page_id)
+        return Page.from_bytes(page_id, self.images[page_id])
+
+    def flush(self, page: Page) -> None:
+        self.flushes.append(page.page_id)
+        self.images[page.page_id] = page.to_bytes()
+
+    def read_pages(self, start: int, count: int):
+        self.vector_reads.append((start, count))
+        return [self.images.get(start + i) for i in range(count)]
+
+    def flush_pages(self, start: int, pages) -> None:
+        self.vector_writes.append((start, len(pages)))
+        for page in pages:
+            self.flushes.append(page.page_id)
+            self.images[page.page_id] = page.to_bytes()
+
+
+def _readahead_pool(window=8, capacity=64, n_pages=32, fault_hook=None):
+    disk = _ByteDisk(n_pages)
+    stats = StorageStats()
+
+    def prefetch_run(page_id):
+        return page_id + 1, max(0, min(window, disk.page_count - page_id - 1))
+
+    pool = BufferPool(
+        capacity,
+        disk.load,
+        disk.flush,
+        stats,
+        fault_hook=fault_hook,
+        read_pages=disk.read_pages,
+        flush_pages=disk.flush_pages,
+        readahead_pages=window,
+        prefetch_run=prefetch_run,
+    )
+    return pool, disk, stats
+
+
+def test_sequential_scan_prefetches_and_absorbs_faults():
+    pool, disk, stats = _readahead_pool(window=8, n_pages=24)
+    for page_id in range(24):
+        pool.fetch(page_id)
+    # Every page was served exactly once, as a fault or a staged hit.
+    assert stats.major_faults + stats.prefetch_hits == 24
+    # Read-ahead kicked in at the second fault and absorbed most faults.
+    assert stats.prefetch_hits > stats.major_faults
+    assert stats.pages_prefetched == stats.prefetch_hits  # all paid off
+    assert stats.io_batches >= 1
+    assert disk.vector_reads  # at least one vectored transfer happened
+    for start, count in disk.vector_reads:
+        assert count <= 8
+
+
+def test_prefetched_page_is_not_a_major_fault():
+    pool, disk, stats = _readahead_pool(window=8, n_pages=16)
+    pool.fetch(0)
+    pool.fetch(1)  # sequential: stages 2..9
+    faults_before = stats.major_faults
+    pool.fetch(2)  # staged hit
+    assert stats.major_faults == faults_before
+    assert stats.prefetch_hits == 1
+    assert pool.is_resident(2)
+    assert not pool.is_staged(2)  # promoted out of the stage
+
+
+def test_window_zero_never_prefetches():
+    pool, disk, stats = _readahead_pool(window=0, n_pages=16)
+    for page_id in range(16):
+        pool.fetch(page_id)
+    assert not disk.vector_reads
+    assert stats.pages_prefetched == 0
+    assert stats.prefetch_hits == 0
+    assert stats.major_faults == 16
+
+
+def test_random_access_never_prefetches():
+    pool, disk, stats = _readahead_pool(window=4, n_pages=32)
+    for page_id in (0, 20, 5, 28, 12):  # every gap outside the window
+        pool.fetch(page_id)
+    assert not disk.vector_reads
+    assert stats.pages_prefetched == 0
+
+
+def test_fault_hook_fires_on_staged_hit():
+    seen = []
+    pool, disk, stats = _readahead_pool(
+        window=8, n_pages=16, fault_hook=lambda page: seen.append(page.page_id)
+    )
+    for page_id in range(6):
+        pool.fetch(page_id)
+    # The hook (Texas swizzling) runs once per demanded page, staged or
+    # not — never for pages that sit in the stage unreferenced.
+    assert seen == [0, 1, 2, 3, 4, 5]
+
+
+def test_prefetch_skips_resident_pages():
+    pool, disk, stats = _readahead_pool(window=8, n_pages=16)
+    pool.fetch(3)  # resident before the scan reaches it
+    pool.fetch(0)
+    pool.fetch(1)  # stages 2..9, but 3 must be skipped
+    assert not pool.is_staged(3)
+    hits_before = stats.buffer_hits
+    pool.fetch(3)
+    assert stats.buffer_hits == hits_before + 1  # still a plain hit
+
+
+def test_staged_pages_do_not_occupy_pool_slots():
+    pool, disk, stats = _readahead_pool(window=8, capacity=4, n_pages=16)
+    pool.fetch(0)
+    pool.fetch(1)  # stages several pages
+    assert pool.staged_pages > 0
+    assert pool.resident_pages == 2  # stage lives outside the pool
+
+
+def test_drop_discards_staged_image():
+    pool, disk, stats = _readahead_pool(window=8, n_pages=16)
+    pool.fetch(0)
+    pool.fetch(1)
+    assert pool.is_staged(2)
+    pool.drop(2)
+    assert not pool.is_staged(2)
+    pool.fetch(2)  # must be a real fault now
+    assert stats.prefetch_hits == 0
+
+
+# -- vectored flush -----------------------------------------------------------
+
+
+def test_flush_coalesces_contiguous_runs():
+    pool, disk, stats = _readahead_pool(window=8, n_pages=16)
+    for page_id in (3, 4, 5, 9):
+        pool.fetch(page_id).dirty = True
+    written = pool.flush_dirty()
+    assert written == 4
+    # One vectored transfer for 3..5, one single write for 9 — ascending.
+    assert disk.vector_writes == [(3, 3)]
+    assert disk.flushes == [3, 4, 5, 9]
+    assert stats.io_batches >= 1
+    assert stats.page_writes == 4
+
+
+def test_flush_without_vectored_writer_stays_per_page():
+    pool, disk, stats = _pool()
+    for page_id in (1, 2, 3):
+        pool.fetch(page_id).dirty = True
+    assert pool.flush_dirty() == 3
+    assert disk.flushes == [1, 2, 3]
+    assert stats.io_batches == 0

@@ -20,6 +20,12 @@ one of:
 What is forbidden is the fourth outcome: a store that *claims* to be
 healthy but silently disagrees with any state the application committed.
 
+The matrix runs with batched I/O at its default (read-ahead on, commits
+vectored): ``FaultyPageFile.write_pages`` decomposes every vectored
+transfer into per-page write points, so ``crash_after_writes=N`` names
+the same crash whether commits batch or not — which the write-point
+equality test below pins directly.
+
 Set ``CRASH_MATRIX_STRIDE=k`` to test every k-th write point (CI smoke);
 the default sweeps all of them.
 """
@@ -255,3 +261,32 @@ def test_memstore_crash_semantics(cls):
     reopened = cls()
     assert reopened.object_count() == 0
     assert reopened.verify().ok
+
+
+@pytest.mark.parametrize("cls", PERSISTENT_CLASSES)
+def test_write_points_and_files_identical_with_and_without_batching(cls, tmp_path):
+    """Batching must not move a single write point or disk byte.
+
+    The fault injector's crash schedule is meaningful only if write
+    point N is the same physical write with vectored commits on or off;
+    the decomposition in ``FaultyPageFile.write_pages`` guarantees it,
+    and byte-identical database files prove nothing was reordered.
+    """
+    counts: dict[int, int] = {}
+    contents: dict[int, dict[str, bytes]] = {}
+    for window in (0, 8):
+        injector = FaultInjector()  # counting mode, never crashes
+        directory = os.path.join(tmp_path, f"wp{window}")
+        os.makedirs(directory)
+        path = os.path.join(directory, "db.pages")
+        sm = cls(path=path, checkpoint_every=1, fault_injector=injector,
+                 readahead_pages=window)
+        _workload(sm, {}, {})
+        counts[window] = injector.writes_seen
+        sm.close()
+        contents[window] = {
+            name: open(os.path.join(directory, name), "rb").read()
+            for name in sorted(os.listdir(directory))
+        }
+    assert counts[0] == counts[8], "batching changed the write-point count"
+    assert contents[0] == contents[8], "batching changed the disk bytes"

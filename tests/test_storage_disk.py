@@ -225,3 +225,124 @@ def test_clear_page_makes_a_hole(tmp_path):
     assert disk.read_page(1) == _image(b"b")
     assert disk.page_count == 2  # clearing never shrinks the file
     disk.close()
+
+
+# -- vectored page I/O --------------------------------------------------------
+
+
+@pytest.mark.parametrize("path_of", [lambda tmp: None,
+                                     lambda tmp: os.path.join(tmp, "v.db")],
+                         ids=["memory", "file"])
+def test_read_pages_round_trip(tmp_path, path_of):
+    disk = PageFile(path_of(tmp_path))
+    disk.write_page(0, _image(b"a"))
+    disk.write_page(1, _image(b"b"))
+    disk.write_page(2, _image(b"c"))
+    assert disk.read_pages(0, 3) == [_image(b"a"), _image(b"b"), _image(b"c")]
+    assert disk.read_pages(1, 1) == [_image(b"b")]
+    assert disk.read_pages(2, 0) == []
+    disk.close()
+
+
+@pytest.mark.parametrize("path_of", [lambda tmp: None,
+                                     lambda tmp: os.path.join(tmp, "v.db")],
+                         ids=["memory", "file"])
+def test_read_pages_returns_none_for_holes(tmp_path, path_of):
+    """Unlike read_page, a hole inside a speculative batch is data the
+    caller skips, not an error."""
+    disk = PageFile(path_of(tmp_path))
+    disk.write_page(0, _image(b"a"))
+    disk.write_page(2, _image(b"c"))  # leaves page 1 a hole
+    assert disk.read_pages(0, 3) == [_image(b"a"), None, _image(b"c")]
+    disk.close()
+
+
+def test_read_pages_beyond_end_rejected():
+    disk = PageFile(None)
+    disk.write_page(0, _image(b"a"))
+    with pytest.raises(StorageError, match="beyond"):
+        disk.read_pages(0, 2)
+    with pytest.raises(StorageError, match="negative"):
+        disk.read_pages(0, -1)
+
+
+def test_read_pages_torn_page_still_raises(tmp_path):
+    path = os.path.join(tmp_path, "torn.db")
+    disk = PageFile(path)
+    disk.write_page(0, _image(b"a"))
+    disk.write_page(1, _image(b"b"))
+    disk.close()
+    with open(path, "r+b") as handle:
+        handle.seek(PAGE_SIZE + 100)
+        handle.write(b"CORRUPT")
+    reopened = PageFile(path)
+    with pytest.raises(StorageError, match="torn"):
+        reopened.read_pages(0, 2)
+    reopened.close()
+
+
+def test_write_pages_matches_per_page_writes(tmp_path):
+    """The vectored write must leave bit-identical files to per-page
+    writes — same stamps, same zero-filled gaps, same page count."""
+    batched_path = os.path.join(tmp_path, "batched.db")
+    single_path = os.path.join(tmp_path, "single.db")
+    images = [_image(b"a"), _image(b"b"), _image(b"c")]
+
+    batched = PageFile(batched_path)
+    batched.epoch = 3
+    batched.write_pages(2, images)  # past-the-end start: zero-fills 0..1
+    assert batched.page_count == 5
+    batched.close()
+
+    single = PageFile(single_path)
+    single.epoch = 3
+    for offset, image in enumerate(images):
+        single.write_page(2 + offset, image)
+    single.close()
+
+    with open(batched_path, "rb") as a, open(single_path, "rb") as b:
+        assert a.read() == b.read()
+
+
+def test_write_pages_empty_is_a_noop():
+    disk = PageFile(None)
+    disk.write_pages(0, [])
+    assert disk.page_count == 0
+
+
+def test_write_pages_validates_every_image():
+    disk = PageFile(None)
+    with pytest.raises(StorageError, match="exactly"):
+        disk.write_pages(0, [_image(b"a"), b"short"])
+    # validation happens before any write lands
+    assert disk.page_count == 0
+
+
+# -- redundant metadata writes ------------------------------------------------
+
+
+def test_identical_meta_blob_is_skipped(tmp_path):
+    path = os.path.join(tmp_path, "pages.db")
+    disk = PageFile(path)
+    first = disk.write_meta({"v": 1})
+    assert first > 0
+    mtime = os.path.getmtime(path + ".meta")
+    assert disk.write_meta({"v": 1}) == 0  # byte-identical: not rewritten
+    assert os.path.getmtime(path + ".meta") == mtime
+    assert disk.meta_size_bytes == first  # size still reported
+    assert disk.write_meta({"v": 2}) > 0  # changed blob lands
+    assert disk.read_meta() == {"v": 2}
+    disk.close()
+
+
+def test_meta_skip_does_not_survive_reopen(tmp_path):
+    """The skip compares against what *this handle* wrote; a fresh handle
+    must write once before it can skip (it never read the old blob)."""
+    path = os.path.join(tmp_path, "pages.db")
+    disk = PageFile(path)
+    disk.write_meta({"v": 1})
+    disk.close()
+    reopened = PageFile(path)
+    assert reopened.write_meta({"v": 1}) > 0
+    assert reopened.write_meta({"v": 1}) == 0
+    reopened.close()

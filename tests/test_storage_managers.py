@@ -235,3 +235,146 @@ def test_swizzle_work_charged_on_texas_faults(tmp_path):
     assert sm.stats.major_faults > 0
     assert sm.stats.swizzle_operations > 0
     sm.close()
+
+
+# -- the public pages_of API -----------------------------------------------
+
+
+def test_pages_of_small_object(any_sm):
+    oid = any_sm.allocate_write({"a": 1})
+    pages = any_sm.pages_of(oid)
+    if any_sm.persistent:
+        assert len(pages) == 1
+    else:
+        assert pages == []  # main-memory stores hold objects in no page
+
+
+def test_pages_of_large_object_lists_every_chunk(any_sm):
+    oid = any_sm.allocate_write({"blob": "B" * 30_000})
+    pages = any_sm.pages_of(oid)
+    if any_sm.persistent:
+        assert len(pages) > 1  # chunked across pages
+        assert pages == [page for page in pages]  # storage (chunk) order
+    else:
+        assert pages == []
+
+
+def test_pages_of_unknown_oid(any_sm):
+    with pytest.raises(UnknownOidError):
+        any_sm.pages_of(424_242)
+
+
+# -- segment-aware read-ahead (A5's mechanism) ------------------------------
+
+
+def test_cold_sequential_scan_prefetches(persistent_sm):
+    """A cold scan in storage order must be fed by the prefetcher: most
+    pages arrive staged (prefetch_hits), not as major faults, and the
+    absorbed faults account exactly for the difference."""
+    sm = persistent_sm
+    oids = [sm.allocate_write({"i": i, "pad": "x" * 120}) for i in range(600)]
+    sm.commit()
+    sm.drop_buffer()
+    before_faults = sm.stats.major_faults
+    for oid in oids:
+        sm.read(oid)
+    faults = sm.stats.major_faults - before_faults
+    assert sm.stats.pages_prefetched > 0
+    assert sm.stats.prefetch_hits > faults
+    assert sm.stats.io_batches > 0
+
+
+def test_readahead_off_never_prefetches(tmp_path):
+    sm = ObjectStoreSM(path=str(tmp_path / "off.db"), buffer_pages=16,
+                       readahead_pages=0)
+    oids = [sm.allocate_write({"i": i, "pad": "x" * 120}) for i in range(600)]
+    sm.commit()
+    sm.drop_buffer()
+    for oid in oids:
+        sm.read(oid)
+    assert sm.stats.pages_prefetched == 0
+    assert sm.stats.prefetch_hits == 0
+    assert sm.stats.io_batches == 0
+    sm.close()
+
+
+def test_readahead_stays_inside_the_faulting_segment(tmp_path):
+    """OStore read-ahead must not drag a neighbouring segment's pages in:
+    scanning one segment stages only that segment's pages."""
+    sm = ObjectStoreSM(path=str(tmp_path / "seg.db"), buffer_pages=256)
+    sm.create_segment("hot")
+    sm.create_segment("cold")
+    hot, cold = [], []
+    for i in range(150):  # interleave so the segments' pages alternate
+        hot.append(sm.allocate_write({"h": i, "pad": "h" * 150}, segment="hot"))
+        cold.append(sm.allocate_write({"c": i, "pad": "c" * 150}, segment="cold"))
+    sm.commit()
+    sm.drop_buffer()
+    for oid in hot:
+        sm.read(oid)
+    cold_pages = {page for oid in cold for page in sm.pages_of(oid)}
+    staged_or_resident = set(sm._pool.resident_ids()) | {
+        page_id for page_id in cold_pages if sm._pool.is_staged(page_id)
+    }
+    # No cold page was speculatively transferred by the hot scan.
+    assert not (cold_pages & staged_or_resident)
+    sm.close()
+
+
+def test_swizzle_cost_identical_with_readahead(tmp_path):
+    """Texas swizzles at *demand* time, so read-ahead absorbs faults but
+    never changes the swizzling bill."""
+    swizzles = {}
+    for window in (0, 8):
+        sm = TexasSM(path=str(tmp_path / f"t{window}.db"), buffer_pages=16,
+                     readahead_pages=window)
+        oids = [sm.allocate_write({"i": i, "pad": "y" * 200}) for i in range(300)]
+        sm.commit()
+        sm.drop_buffer()
+        for oid in oids:
+            sm.read(oid)
+        swizzles[window] = sm.stats.swizzle_operations
+        sm.close()
+    assert swizzles[0] == swizzles[8]
+
+
+def test_redundant_checkpoints_are_skipped(tmp_path):
+    """checkpoint_every=1 on a read-mostly phase must stop re-writing the
+    unchanged metadata blob (and stop advancing the epoch)."""
+    sm = ObjectStoreSM(path=str(tmp_path / "ck.db"), checkpoint_every=1)
+    oids = [sm.allocate_write({"i": i}) for i in range(20)]
+    sm.commit()
+    written_after_load = sm.stats.meta_bytes_written
+    assert written_after_load > 0
+    epoch = sm.commit_epoch
+    for _ in range(5):  # read-only commits: nothing to persist
+        for oid in oids[:5]:
+            sm.read(oid)
+        sm.commit()
+    assert sm.stats.meta_bytes_written == written_after_load
+    assert sm.commit_epoch == epoch
+    sm.write(oids[0], {"i": -1})
+    sm.commit()  # a real change lands a real checkpoint
+    assert sm.stats.meta_bytes_written > written_after_load
+    assert sm.commit_epoch > epoch
+    sm.close()
+    # and the skipped checkpoints cost nothing in durability
+    reopened = ObjectStoreSM(path=str(tmp_path / "ck.db"))
+    assert reopened.read(oids[0]) == {"i": -1}
+    assert reopened.verify().ok
+    reopened.close()
+
+
+def test_unchanged_reopen_close_skips_meta_rewrite(tmp_path):
+    import os
+
+    sm = ObjectStoreSM(path=str(tmp_path / "ro.db"))
+    sm.allocate_write({"v": 1})
+    sm.close()
+    meta_path = str(tmp_path / "ro.db") + ".meta"
+    mtime = os.path.getmtime(meta_path)
+    reopened = ObjectStoreSM(path=str(tmp_path / "ro.db"))
+    reopened.object_count()
+    reopened.close()  # nothing changed: the blob must not be rewritten
+    assert os.path.getmtime(meta_path) == mtime
+    assert reopened.stats.meta_bytes_written == 0
