@@ -1,0 +1,231 @@
+"""Rule engine: source modules, findings, suppression, the run loop.
+
+A :class:`Project` is the unit of analysis — every module is parsed up
+front so rules can consult cross-module facts (which private names a
+module defines, which counters the stats block declares).  Rules are
+small classes over the parsed trees; the engine applies per-line
+suppression comments and returns findings in a deterministic order, so
+two runs over the same tree render byte-identical reports.
+
+Suppression syntax (the only escape hatch)::
+
+    risky_call()  # lint: ignore[LF06] -- justification here
+
+The marker silences the named rule(s) on its own line, or — when the
+comment stands alone — on the next code line below it.  Rule ids may be
+comma-separated: ``# lint: ignore[LF01, LF03]``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+#: ``# module: repro.storage.foo`` near the top of a file overrides the
+#: path-derived module name — test fixtures use this to pose as storage
+#: modules without living inside the package.
+_MODULE_OVERRIDE = re.compile(r"#\s*module:\s*([A-Za-z_][\w.]*)")
+
+_SUPPRESS = re.compile(r"#\s*lint:\s*ignore\[([A-Za-z0-9_,\s]+)\]")
+
+#: Underscore attributes that are public API of stdlib types, not
+#: privacy violations (namedtuple's documented methods).
+NAMEDTUPLE_METHODS = frozenset(
+    {"_replace", "_asdict", "_fields", "_make", "_field_defaults"}
+)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+class SourceModule:
+    """One parsed source file plus its lint-relevant derived data."""
+
+    def __init__(self, path: str, text: str, name: str | None = None) -> None:
+        self.path = path
+        self.text = text
+        self.lines = text.splitlines()
+        self.name = name or _module_name(path, text)
+        self.tree = ast.parse(text, filename=path)
+        self._suppressions: dict[int, set[str]] | None = None
+
+    # -- suppression ---------------------------------------------------------
+
+    def suppressed_rules(self, line: int) -> set[str]:
+        """Rule ids suppressed at a 1-based source line."""
+        if self._suppressions is None:
+            self._suppressions = self._scan_suppressions()
+        return self._suppressions.get(line, set())
+
+    def _scan_suppressions(self) -> dict[int, set[str]]:
+        table: dict[int, set[str]] = {}
+        for index, raw in enumerate(self.lines, start=1):
+            match = _SUPPRESS.search(raw)
+            if match is None:
+                continue
+            rules = {part.strip() for part in match.group(1).split(",")}
+            rules.discard("")
+            target = index
+            if raw.lstrip().startswith("#"):
+                # Comment-only line: the marker covers the line below.
+                target = index + 1
+            table.setdefault(target, set()).update(rules)
+        return table
+
+    # -- private-name inventory (LF03's ground truth) ------------------------
+
+    def private_names(self) -> set[str]:
+        """Every ``_name`` this module defines as attribute or method.
+
+        Collected from ``self._x`` / ``cls._x`` assignments, class-body
+        assignments (dataclass fields included), method definitions, and
+        module-level bindings — anything an ``obj._x`` access inside the
+        same module could legitimately refer to.
+        """
+        names: set[str] = set()
+        for node in ast.walk(self.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                if node.name.startswith("_"):
+                    names.add(node.name)
+            elif isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Store):
+                if node.attr.startswith("_") and _receiver_is_self(node.value):
+                    names.add(node.attr)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    if isinstance(target, ast.Name) and target.id.startswith("_"):
+                        names.add(target.id)
+        return names
+
+
+def _receiver_is_self(node: ast.expr) -> bool:
+    """Whether an attribute receiver is ``self``/``cls`` (or ``super()``)."""
+    if isinstance(node, ast.Name):
+        return node.id in ("self", "cls")
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id == "super"
+    return False
+
+
+def _module_name(path: str, text: str) -> str:
+    for raw in text.splitlines()[:10]:
+        match = _MODULE_OVERRIDE.search(raw)
+        if match is not None:
+            return match.group(1)
+    parts = path.replace("\\", "/").split("/")
+    stem = parts[-1][:-3] if parts[-1].endswith(".py") else parts[-1]
+    if "repro" in parts[:-1]:
+        index = len(parts) - 2 - parts[-2::-1].index("repro")
+        dotted = parts[index:-1] + ([] if stem == "__init__" else [stem])
+        return ".".join(dotted)
+    return stem
+
+
+class Project:
+    """Every module under analysis, parsed, addressable by dotted name."""
+
+    def __init__(self, modules: Sequence[SourceModule]) -> None:
+        self.modules = sorted(modules, key=lambda m: m.path)
+        self.by_name = {module.name: module for module in self.modules}
+
+    def __iter__(self) -> Iterator[SourceModule]:
+        return iter(self.modules)
+
+    def module(self, name: str) -> SourceModule | None:
+        return self.by_name.get(name)
+
+
+class Rule:
+    """Base class: one invariant, checked over the whole project."""
+
+    id: str = "LF00"
+    title: str = ""
+
+    def applies(self, module: SourceModule) -> bool:
+        return True
+
+    def check(self, project: Project) -> Iterable[Finding]:
+        for module in project:
+            if self.applies(module):
+                yield from self.check_module(project, module)
+
+    def check_module(
+        self, project: Project, module: SourceModule
+    ) -> Iterable[Finding]:
+        return ()
+
+    def finding(self, module: SourceModule, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=self.id,
+            message=message,
+        )
+
+
+def run_rules(project: Project, rules: Sequence[Rule]) -> list[Finding]:
+    """Apply rules, drop suppressed findings, return in stable order."""
+    findings: list[Finding] = []
+    for rule in rules:
+        for found in rule.check(project):
+            module = next(
+                (m for m in project if m.path == found.path), None
+            )
+            if module is not None and rule.id in module.suppressed_rules(found.line):
+                continue
+            findings.append(found)
+    findings.sort()
+    return findings
+
+
+# -- shared scope predicates -------------------------------------------------
+
+
+def in_storage_stack(name: str) -> bool:
+    """The modules whose invariants the LF rules guard."""
+    return name.startswith("repro.storage") or name.startswith("repro.labbase")
+
+
+def in_crash_path(name: str) -> bool:
+    """Modules where nondeterminism breaks the crash matrix or benches."""
+    return name in (
+        "repro.storage.disk",
+        "repro.storage.faultinject",
+        "repro.storage.base",
+        "repro.storage.buffer",
+    ) or name.startswith("repro.benchmark")
+
+
+@dataclass
+class ParentMap:
+    """Child -> parent links for one tree (guard-context queries)."""
+
+    parents: dict[ast.AST, ast.AST] = field(default_factory=dict)
+
+    @classmethod
+    def of(cls, tree: ast.AST) -> "ParentMap":
+        mapping = cls()
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                mapping.parents[child] = parent
+        return mapping
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        current = self.parents.get(node)
+        while current is not None:
+            yield current
+            current = self.parents.get(current)

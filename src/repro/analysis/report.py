@@ -1,0 +1,63 @@
+"""Deterministic rendering of lint findings (text and JSON).
+
+Both formats are pure functions of the finding list — no timestamps, no
+absolute paths, no environment — so two runs over the same tree emit
+byte-identical output.  CI diffs the JSON report across commits, which
+only works if formatting noise is zero.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.analysis.core import Finding
+
+#: Schema version of the JSON report; bump on breaking layout changes.
+REPORT_VERSION = 1
+
+
+def render_text(findings: Sequence[Finding], checked_files: int) -> str:
+    """Human-readable report, one finding per line, stable order."""
+    lines = [finding.render() for finding in findings]
+    if findings:
+        by_rule: dict[str, int] = {}
+        for finding in findings:
+            by_rule[finding.rule] = by_rule.get(finding.rule, 0) + 1
+        summary = ", ".join(
+            f"{rule}: {count}" for rule, count in sorted(by_rule.items())
+        )
+        lines.append("")
+        lines.append(
+            f"{len(findings)} finding(s) in {checked_files} file(s) ({summary})"
+        )
+    else:
+        lines.append(f"clean: {checked_files} file(s), 0 findings")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], checked_files: int) -> str:
+    """Machine-readable report with a stable schema and key order."""
+    payload = {
+        "version": REPORT_VERSION,
+        "checked_files": checked_files,
+        "counts": _counts(findings),
+        "findings": [
+            {
+                "rule": finding.rule,
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "message": finding.message,
+            }
+            for finding in findings
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def _counts(findings: Sequence[Finding]) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return counts

@@ -118,7 +118,7 @@ def labflow_stream_statistics(db: LabBase, workload_tallies) -> dict:
         "step_classes_used": len(
             [c for c, n in db.catalog.step_counts.items() if n]
         ),
-        "query_kinds_used": len([op for op in ops if op.startswith("Q")]),
+        "query_kinds_used": len({op for op in ops if op.startswith("Q")}),
         "states_used": len(states),
         "max_history_length": max(lengths) if lengths else 0,
         "mean_history_length": (sum(lengths) / len(lengths)) if lengths else 0.0,

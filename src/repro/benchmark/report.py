@@ -66,6 +66,8 @@ def render_stats(
         "buffer_hits",
         "page_reads",
         "page_writes",
+        "bytes_read",
+        "bytes_written",
         "pages_prefetched",
         "prefetch_hits",
         "io_batches",
@@ -73,9 +75,15 @@ def render_stats(
         "swizzle_operations",
         "objects_read",
         "objects_written",
+        "objects_deleted",
+        "commits",
+        "aborts",
+        "lock_acquisitions",
+        "lock_waits",
         "cache_hits",
         "cache_misses",
         "cache_coalesced",
+        "cache_evictions",
     ),
 ) -> str:
     """Storage-counter totals per server (the locality evidence)."""

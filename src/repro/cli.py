@@ -11,6 +11,7 @@
     python -m repro shell DBFILE
     python -m repro verify DBFILE [--server OStore]
     python -m repro recover DBFILE [--server OStore]
+    python -m repro lint [PATHS] [--format json]
 
 ``compare`` regenerates the paper's Section 10 table; ``graph`` and
 ``eer`` emit the Appendix B and Figure 1 artefacts; ``query``/``shell``
@@ -302,6 +303,18 @@ def cmd_recover(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.analysis.main import main as lint_main
+
+    lint_argv = list(args.paths)
+    lint_argv += ["--format", args.format]
+    if args.rules:
+        lint_argv += ["--rules", args.rules]
+    if args.list_rules:
+        lint_argv.append("--list-rules")
+    return lint_main(lint_argv)
+
+
 def cmd_query(args) -> int:
     program, db = _open_program(args.db)
     _print_solutions(program, args.goal, args.limit)
@@ -397,6 +410,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--server", choices=["OStore", "Texas", "Texas+TC"],
                    default="OStore", help="store format of the file")
     p.set_defaults(func=cmd_recover)
+
+    p = sub.add_parser("lint",
+                       help="run the storage-stack invariant linter (LF01-LF06)")
+    p.add_argument("paths", nargs="*",
+                   help="files or directories (default: the repro package)")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--rules", default=None, metavar="LF01,LF02,...")
+    p.add_argument("--list-rules", action="store_true")
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("query", help="run one deductive query on a database")
     p.add_argument("db", help="database file (ObjectStoreSM format)")

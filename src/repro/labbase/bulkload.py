@@ -25,6 +25,7 @@ Usage::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 from repro.errors import DuplicateKeyError, LabBaseError
 from repro.labbase import model
@@ -91,7 +92,7 @@ class BulkLoader:
         self,
         class_name: str,
         valid_time: int,
-        involves,
+        involves: Iterable[BulkRef | int],
         results: dict | None = None,
     ) -> None:
         """Queue a step; ``involves`` may mix BulkRefs and existing oids."""
@@ -115,7 +116,7 @@ class BulkLoader:
         self._flushed = True
         db = self._db
         sm = db.cache  # cache-backed handle: same object API as the SM
-        seg = db._segment_arg
+        seg = db.segment_arg
 
         # 1. material records (fresh, history filled in below)
         for pending in self._materials:
@@ -129,7 +130,7 @@ class BulkLoader:
                 pending.record, segment=seg(SEG_MATERIALS)
             )
 
-        def resolve(target) -> int:
+        def resolve(target: BulkRef | int) -> int:
             if isinstance(target, BulkRef):
                 return self._materials[target.index].oid
             return int(target)
@@ -169,7 +170,7 @@ class BulkLoader:
             for oid in involved:
                 record = material_record(oid)
                 chunks = history_chunks.setdefault(oid, [])
-                if not chunks or len(chunks[-1]) >= db.history._chunk:
+                if not chunks or len(chunks[-1]) >= db.history.chunk_size:
                     chunks.append([])
                 chunks[-1].append(step_oid)
                 record["history_len"] += 1
@@ -202,7 +203,7 @@ class BulkLoader:
                 (pending.class_name, bucket), []
             ).append(pending)
         for (class_name, _bucket), group in bucket_inserts.items():
-            bucket_oid = db._bucket_oid(class_name, group[0].key, create=True)
+            bucket_oid = db.bucket_oid(class_name, group[0].key, create=True)
             record = sm.read(bucket_oid)
             for pending in group:
                 if pending.key in record["entries"]:

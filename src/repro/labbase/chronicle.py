@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import UnknownAttributeError
 from repro.labbase.database import LabBase
 
 
@@ -196,7 +197,7 @@ class Chronicle:
                 continue
             try:
                 value = self._db.most_recent(oid, attribute)
-            except Exception:
+            except UnknownAttributeError:
                 continue
             if isinstance(value, (int, float)) and not isinstance(value, bool):
                 values.append(float(value))

@@ -26,7 +26,10 @@ precisely the locality contrast experiment E5 measures.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+if TYPE_CHECKING:
+    from repro.storage.integrity import IntegrityReport
 
 from repro.errors import (
     DuplicateKeyError,
@@ -95,12 +98,12 @@ class LabBase:
         self._store = ObjectCache(sm, capacity=capacity)
         for name, description in SEGMENT_PLAN:
             sm.create_segment(name, description)
-        seg = self._segment_arg
+        seg = self.segment_arg
         self.catalog = Catalog(self._store, seg(SEG_CATALOG))
         self.history = HistoryStore(self._store, seg(SEG_HISTORY), chunk=history_chunk)
         self.sets = StateStore(self._store, self.catalog, seg(SEG_SETS))
 
-    def _segment_arg(self, name: str) -> str | None:
+    def segment_arg(self, name: str) -> str | None:
         return name if self._sm.supports_segments else None
 
     @property
@@ -116,7 +119,7 @@ class LabBase:
     # crash consistency
     # ------------------------------------------------------------------
 
-    def verify_storage(self):
+    def verify_storage(self) -> IntegrityReport:
         """Integrity report for the underlying store (never modifies it)."""
         return self._sm.verify()
 
@@ -175,7 +178,7 @@ class LabBase:
     # key index
     # ------------------------------------------------------------------
 
-    def _bucket_oid(self, class_name: str, key: str, create: bool) -> int:
+    def bucket_oid(self, class_name: str, key: str, create: bool) -> int:
         buckets = self.catalog.key_index[class_name]
         if not buckets:
             if not create:
@@ -186,13 +189,13 @@ class LabBase:
             if not create:
                 return model.NIL
             buckets[index] = self._store.allocate_write(
-                model.make_index_bucket(), segment=self._segment_arg(SEG_CATALOG)
+                model.make_index_bucket(), segment=self.segment_arg(SEG_CATALOG)
             )
             self.catalog.save()
         return buckets[index]
 
     def _index_insert(self, class_name: str, key: str, material_oid: int) -> None:
-        bucket_oid = self._bucket_oid(class_name, key, create=True)
+        bucket_oid = self.bucket_oid(class_name, key, create=True)
         bucket = self._store.read(bucket_oid)
         if key in bucket["entries"]:
             raise DuplicateKeyError(class_name, key)
@@ -201,7 +204,7 @@ class LabBase:
 
     def _index_lookup(self, class_name: str, key: str) -> int:
         self.catalog.material_class(class_name)  # raise on unknown class
-        bucket_oid = self._bucket_oid(class_name, key, create=False)
+        bucket_oid = self.bucket_oid(class_name, key, create=False)
         if bucket_oid == model.NIL:
             raise UnknownMaterialError(f"no material {key!r} in class {class_name!r}")
         bucket = self._store.read(bucket_oid)
@@ -224,7 +227,7 @@ class LabBase:
         """create_<class>(M): new material instance, returns its oid."""
         self.catalog.material_class(class_name)
         record = model.make_material(class_name, key, valid_time)
-        oid = self._store.allocate_write(record, segment=self._segment_arg(SEG_MATERIALS))
+        oid = self._store.allocate_write(record, segment=self.segment_arg(SEG_MATERIALS))
         self._index_insert(class_name, key, oid)
         if state is not None:
             self.sets.enter_state(oid, record, state, valid_time)
@@ -289,7 +292,7 @@ class LabBase:
             involves=involved,
         )
         step_oid = self._store.allocate_write(
-            step, segment=self._segment_arg(SEG_HISTORY)
+            step, segment=self.segment_arg(SEG_HISTORY)
         )
 
         for material_oid in involved:

@@ -42,6 +42,11 @@ class HistoryStore:
         self._segment = segment
         self._chunk = chunk
 
+    @property
+    def chunk_size(self) -> int:
+        """Steps per history chunk node (bulk loading sizes its batches to this)."""
+        return self._chunk
+
     # -- append ----------------------------------------------------------------
 
     def append(self, material: dict, step_oid: int) -> None:

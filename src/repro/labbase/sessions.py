@@ -19,6 +19,8 @@ retry.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from repro.errors import ConcurrencyUnsupportedError, LabBaseError, LockError
 from repro.labbase.database import LabBase
 
@@ -52,9 +54,9 @@ class Session:
         self,
         class_name: str,
         valid_time: int,
-        involves,
-        results=None,
-        version_id=None,
+        involves: Iterable[int],
+        results: dict[str, object] | None = None,
+        version_id: int | None = None,
     ) -> int:
         """U1 under exclusive locks on every involved material.
 
@@ -77,7 +79,7 @@ class Session:
         self.lock_material(material_oid, exclusive=True)
         self.db.set_state(material_oid, state, valid_time)
 
-    def most_recent(self, material_oid: int, attribute: str):
+    def most_recent(self, material_oid: int, attribute: str) -> object:
         """Q2 under a shared lock on the material."""
         self._check()
         self.lock_material(material_oid, exclusive=False)
@@ -100,7 +102,7 @@ class Session:
     def __enter__(self) -> "Session":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
 
@@ -152,7 +154,7 @@ class SessionManager:
             self.db.cache.evict(oid)
         return newly
 
-    def lock_objects(self, client: str, oids, exclusive: bool) -> None:
+    def lock_objects(self, client: str, oids: Iterable[int], exclusive: bool) -> None:
         """Lock several objects in globally consistent (oid) order.
 
         Sorting gives every session the same acquisition order, so two

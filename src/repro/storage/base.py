@@ -23,7 +23,11 @@ from __future__ import annotations
 
 import abc
 import pickle
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator, Protocol
+
+if TYPE_CHECKING:
+    from repro.storage.faultinject import FaultInjector
+    from repro.storage.integrity import IntegrityReport
 
 from repro.errors import (
     PageOverflowError,
@@ -58,6 +62,16 @@ CHUNK_PAYLOAD_BYTES = 3800
 _ABSENT = object()
 
 
+class CacheHooks(Protocol):
+    """What a storage manager asks of an attached object cache."""
+
+    def on_sm_begin(self) -> None: ...
+    def on_sm_drain(self) -> None: ...
+    def on_sm_txn_end(self) -> None: ...
+    def on_sm_invalidate(self) -> None: ...
+    def on_sm_delete(self, oid: int) -> None: ...
+
+
 class StorageManager(abc.ABC):
     """Abstract persistent object store.
 
@@ -75,7 +89,7 @@ class StorageManager(abc.ABC):
     #: Attached object caches (see ``repro.storage.objcache``).  Class-level
     #: empty tuple so managers without caches pay nothing; ``attach_cache``
     #: installs a per-instance list.
-    _caches: tuple | list = ()
+    _caches: tuple[CacheHooks, ...] | list[CacheHooks] = ()
 
     # -- object-cache hooks --------------------------------------------------
     #
@@ -84,36 +98,36 @@ class StorageManager(abc.ABC):
     # recovery invalidate it, deletes evict.  Concrete managers call the
     # ``_*_caches`` helpers from their commit/abort/delete/recover paths.
 
-    def attach_cache(self, cache) -> None:
+    def attach_cache(self, cache: CacheHooks) -> None:
         """Register an object cache for coherence callbacks."""
         if not isinstance(self._caches, list):
             self._caches = []
         self._caches.append(cache)
 
-    def detach_cache(self, cache) -> None:
+    def detach_cache(self, cache: CacheHooks) -> None:
         """Unregister a cache (missing caches are ignored)."""
         if isinstance(self._caches, list) and cache in self._caches:
             self._caches.remove(cache)
 
     def _drain_caches(self) -> None:
         for cache in self._caches:
-            cache._on_sm_drain()
+            cache.on_sm_drain()
 
     def _begin_caches(self) -> None:
         for cache in self._caches:
-            cache._on_sm_begin()
+            cache.on_sm_begin()
 
     def _end_txn_caches(self) -> None:
         for cache in self._caches:
-            cache._on_sm_txn_end()
+            cache.on_sm_txn_end()
 
     def _invalidate_caches(self) -> None:
         for cache in self._caches:
-            cache._on_sm_invalidate()
+            cache.on_sm_invalidate()
 
     def _evict_caches(self, oid: int) -> None:
         for cache in self._caches:
-            cache._on_sm_delete(oid)
+            cache.on_sm_delete(oid)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -243,7 +257,7 @@ class PagedStorageManager(StorageManager):
         buffer_pages: int = DEFAULT_POOL_PAGES,
         charge_policy: ChargePolicy = exact_charge,
         checkpoint_every: int = 0,
-        fault_injector=None,
+        fault_injector: FaultInjector | None = None,
         readahead_pages: int = DEFAULT_READAHEAD_PAGES,
     ) -> None:
         """``checkpoint_every``: persist metadata every N commits
@@ -272,12 +286,15 @@ class PagedStorageManager(StorageManager):
         self._readahead_pages = readahead_pages
         self._pages_flushed_since_checkpoint = False
         self._last_checkpoint_image: bytes | None = None
+        # The manager *owns* its page file: these two constructor calls
+        # are the single place the storage stack opens one, so every
+        # write point flows through the injectable disk layer below.
         if fault_injector is not None:
             from repro.storage.faultinject import FaultyPageFile
 
-            self._disk = FaultyPageFile(path, fault_injector)
+            self._disk = FaultyPageFile(path, fault_injector)  # lint: ignore[LF01]
         else:
-            self._disk = PageFile(path)
+            self._disk = PageFile(path)  # lint: ignore[LF01]
         batched = readahead_pages > 0
         self._pool = BufferPool(
             capacity_pages=buffer_pages,
@@ -750,7 +767,56 @@ class PagedStorageManager(StorageManager):
     def buffer_resident_pages(self) -> int:
         return self._pool.resident_pages
 
-    def verify(self):
+    # -- introspection accessors -------------------------------------------------
+    #
+    # The read-only view the integrity checker and the segment reports
+    # need.  Public so those modules (and future tools) never reach into
+    # ``_directory`` / ``_segments`` / ``_pool`` — the LF03 lint rule
+    # holds everyone to that.
+
+    def segments(self) -> list[Segment]:
+        """Every segment, in segment-id order."""
+        return sorted(self._segments.values(), key=lambda seg: seg.segment_id)
+
+    def directory_items(self) -> list[tuple[int, object]]:
+        """(oid, directory entry) pairs, oid order; entries are
+        ``(page_id, slot)`` or ``("L", [locations])`` for chunked records."""
+        return sorted(self._directory.items())
+
+    def root_items(self) -> list[tuple[str, int]]:
+        """(root name, oid) bindings, name order."""
+        return sorted(self._roots.items())
+
+    def fetch_page(self, page_id: int) -> Page:
+        """The live page object, through the buffer pool (counts faults)."""
+        return self._pool.fetch(page_id)
+
+    def pool_stats(self) -> dict[str, int]:
+        """Buffer-pool occupancy snapshot."""
+        return {
+            "capacity_pages": self._pool.capacity_pages,
+            "resident_pages": self._pool.resident_pages,
+            "staged_pages": self._pool.staged_pages,
+            "overflow_high_water": self._pool.overflow_high_water,
+        }
+
+    def open_problems(self) -> list[str]:
+        """Crash evidence recorded at open; cleared only by recover()."""
+        return list(self._open_problems)
+
+    @property
+    def disk_epoch(self) -> int:
+        """The commit epoch new page writes are stamped with."""
+        return self._disk.epoch
+
+    def disk_issues(self, max_epoch: int | None = None) -> list[str]:
+        """Disk-level problems: torn pages, epochs beyond ``max_epoch``
+        (default: the store's current stamping epoch)."""
+        if max_epoch is None:
+            max_epoch = self._disk.epoch
+        return self._disk.epoch_issues(max_epoch)
+
+    def verify(self) -> IntegrityReport:
         """Full integrity check; see ``repro.storage.integrity.verify``."""
         from repro.storage import integrity
 
@@ -799,7 +865,9 @@ class PagedStorageManager(StorageManager):
             for page_id, slot in locations:
                 try:
                     self._pool.fetch(page_id).read(slot)
-                except Exception:
+                except StorageError:
+                    # Unreadable means dangling: the slot was moved or
+                    # deleted by a post-checkpoint commit the crash ate.
                     intact = False
                     break
             if not intact:

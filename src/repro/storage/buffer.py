@@ -50,7 +50,7 @@ pages, never what lands.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Callable
+from typing import Callable, Iterator
 
 from repro.errors import StorageError
 from repro.storage.page import Page
@@ -319,7 +319,9 @@ class BufferPool:
         self._evict_if_needed()
         return len(written_ids)
 
-    def _runs(self, page_ids: list[int]):
+    def _runs(
+        self, page_ids: list[int]
+    ) -> Iterator[tuple[int, list[Page]]]:
         """Split ascending page ids into (start_id, [pages]) runs."""
         run_start = 0
         for index in range(1, len(page_ids) + 1):

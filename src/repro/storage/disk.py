@@ -356,7 +356,9 @@ class PageFile:
                 blob = handle.read()
         try:
             return pickle.loads(blob)
-        except Exception as exc:
+        # A half-written or bit-flipped blob raises arbitrary unpickling
+        # errors; all of them mean the same thing — corrupt metadata.
+        except Exception as exc:  # lint: ignore[LF06]
             raise StorageError(
                 f"{meta_path or '<memory>'}: corrupt metadata blob: {exc}"
             ) from exc

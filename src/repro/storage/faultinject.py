@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import InjectedCrashError
+from repro.errors import InjectedCrashError, StorageError
 from repro.storage.disk import PAGE_SIZE, PageFile
 
 #: A torn page write keeps this many bytes of the new image; the rest is
@@ -110,7 +110,7 @@ class FaultyPageFile(PageFile):
         stamped = self._stamp(image)
         try:
             old_raw = self._raw_image(page_id)
-        except Exception:
+        except StorageError:
             old_raw = None
         if old_raw is None:
             old_raw = b"\0" * PAGE_SIZE

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import StorageError
 from repro.storage import serializer
 from repro.storage.base import PagedStorageManager
 from repro.storage.page import PAGE_HEADER_BYTES
@@ -60,8 +61,9 @@ def verify(sm: PagedStorageManager) -> IntegrityReport:
     report = IntegrityReport(manager=sm.name)
 
     # collect every location referenced by the directory
+    directory = sm.directory_items()
     referenced: dict[tuple[int, int], int] = {}
-    for oid, entry in sm._directory.items():
+    for oid, entry in directory:
         locations = entry[1] if entry[0] == "L" else [entry]
         for location in locations:
             location = tuple(location)
@@ -73,21 +75,23 @@ def verify(sm: PagedStorageManager) -> IntegrityReport:
             referenced[location] = oid
 
     # I1 + I2: every object readable and decodable
-    for oid in list(sm._directory):
+    live_oids = set()
+    for oid, _entry in directory:
+        live_oids.add(oid)
         try:
             record = sm.read(oid)
-        except Exception as exc:
+        except StorageError as exc:
             report.fail(f"I1/I2: oid {oid} unreadable: {exc}")
             continue
         try:
             serializer.validate_plain_data(record)
-        except Exception as exc:
+        except StorageError as exc:
             report.fail(f"I2: oid {oid} holds non-plain data: {exc}")
         report.objects_checked += 1
 
     # segment membership map (I6)
     page_to_segment: dict[int, int] = {}
-    for segment in sm._segments.values():
+    for segment in sm.segments():
         for page_id in segment.page_ids:
             if page_id in page_to_segment:
                 report.fail(
@@ -100,8 +104,8 @@ def verify(sm: PagedStorageManager) -> IntegrityReport:
     all_page_ids = sorted(page_to_segment)
     for page_id in all_page_ids:
         try:
-            page = sm._pool.fetch(page_id)
-        except Exception as exc:
+            page = sm.fetch_page(page_id)
+        except StorageError as exc:
             report.fail(f"I6: page {page_id} unreadable: {exc}")
             continue
         report.pages_checked += 1
@@ -112,7 +116,7 @@ def verify(sm: PagedStorageManager) -> IntegrityReport:
                 f"segment table says {page_to_segment[page_id]}"
             )
 
-        expected_used = PAGE_HEADER_BYTES + sum(page._charges.values())
+        expected_used = PAGE_HEADER_BYTES + page.charge_bytes
         if page.used_bytes != expected_used:
             report.fail(
                 f"I5: page {page_id} used_bytes {page.used_bytes} != "
@@ -134,18 +138,18 @@ def verify(sm: PagedStorageManager) -> IntegrityReport:
             )
 
     # I7: roots point at live objects
-    for name, oid in sm._roots.items():
-        if oid not in sm._directory:
+    for name, oid in sm.root_items():
+        if oid not in live_oids:
             report.fail(f"I7: root {name!r} names dead oid {oid}")
 
     # I8: unresolved crash evidence found when the store was opened
     # (stale checkpoint, torn pages).  Only recover() clears these.
-    for problem in getattr(sm, "_open_problems", ()):
+    for problem in sm.open_problems():
         report.fail(f"I8: {problem}")
 
     # I9: live disk scan — no torn page, no page stamped with a commit
     # epoch beyond the store's current one.
-    for problem in sm._disk.epoch_issues(sm._disk.epoch):
+    for problem in sm.disk_issues():
         report.fail(f"I9: {problem}")
 
     return report

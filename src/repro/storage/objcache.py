@@ -45,7 +45,11 @@ hooks above cover every *other* mutation path.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:
+    from repro.storage.base import StorageManager
+    from repro.storage.stats import StorageStats
 
 #: Default cache capacity in objects.  Sized so the default benchmark
 #: database's hot set (materials, buckets, sets, catalog) fits while the
@@ -71,7 +75,9 @@ class ObjectCache:
         issue the identical storage-manager write sequence.
     """
 
-    def __init__(self, sm, capacity: int = DEFAULT_CACHE_OBJECTS) -> None:
+    def __init__(
+        self, sm: StorageManager, capacity: int = DEFAULT_CACHE_OBJECTS
+    ) -> None:
         if capacity < 0:
             raise ValueError("object-cache capacity must be >= 0")
         self._sm = sm
@@ -84,12 +90,12 @@ class ObjectCache:
     # -- introspection -------------------------------------------------------
 
     @property
-    def storage(self):
+    def storage(self) -> StorageManager:
         """The underlying storage manager."""
         return self._sm
 
     @property
-    def stats(self):
+    def stats(self) -> StorageStats:
         """The storage manager's counter block (cache counters included)."""
         return self._sm.stats
 
@@ -236,19 +242,23 @@ class ObjectCache:
             self._sm.stats.cache_evictions += 1
 
     # -- storage-manager hook callbacks --------------------------------------
+    #
+    # Called by PagedStorageManager at transaction boundaries.  Public:
+    # they are the cross-module contract between the manager and its
+    # attached caches, not cache internals.
 
-    def _on_sm_begin(self) -> None:
+    def on_sm_begin(self) -> None:
         self._in_txn = True
 
-    def _on_sm_drain(self) -> None:
+    def on_sm_drain(self) -> None:
         self.flush()
 
-    def _on_sm_txn_end(self) -> None:
+    def on_sm_txn_end(self) -> None:
         self._in_txn = False
 
-    def _on_sm_invalidate(self) -> None:
+    def on_sm_invalidate(self) -> None:
         self.invalidate()
 
-    def _on_sm_delete(self, oid: int) -> None:
+    def on_sm_delete(self, oid: int) -> None:
         self._dirty.pop(oid, None)
         self._clean.pop(oid, None)

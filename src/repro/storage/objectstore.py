@@ -16,8 +16,13 @@ What the paper attributes to ObjectStore, and what this class models:
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.errors import StorageError
 from repro.storage.base import PagedStorageManager
+
+if TYPE_CHECKING:
+    from repro.storage.faultinject import FaultInjector
 from repro.storage.buffer import DEFAULT_POOL_PAGES, DEFAULT_READAHEAD_PAGES
 from repro.storage.locks import LockManager, LockMode
 from repro.storage.page import exact_charge
@@ -36,7 +41,7 @@ class ObjectStoreSM(PagedStorageManager):
         path: str | None = None,
         buffer_pages: int = DEFAULT_POOL_PAGES,
         checkpoint_every: int = 0,
-        fault_injector=None,
+        fault_injector: FaultInjector | None = None,
         readahead_pages: int = DEFAULT_READAHEAD_PAGES,
     ) -> None:
         super().__init__(

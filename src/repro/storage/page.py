@@ -106,6 +106,11 @@ class Page:
     def is_empty(self) -> bool:
         return not self._records
 
+    @property
+    def charge_bytes(self) -> int:
+        """Sum of charged record sizes (excludes the page header)."""
+        return sum(self._charges.values())
+
     # -- record operations --------------------------------------------------
 
     def insert(self, payload: bytes, charged: int) -> int:
@@ -185,7 +190,10 @@ class Page:
         """Rebuild a page from its disk image."""
         try:
             segment_id, next_slot, records, charges = pickle.loads(image)
-        except Exception as exc:
+        # A corrupt pickle stream raises whatever the truncated opcodes
+        # happen to hit (UnpicklingError, EOFError, AttributeError, even
+        # MemoryError on a mangled length) — breadth is the point here.
+        except Exception as exc:  # lint: ignore[LF06]
             raise PageError(f"page {page_id}: corrupt image: {exc}") from exc
         page = cls(page_id, segment_id)
         page._records = records

@@ -44,12 +44,12 @@ class SegmentStats:
 def segment_stats(sm: PagedStorageManager) -> list[SegmentStats]:
     """Per-segment aggregates, largest segment first."""
     stats = []
-    for segment in sm._segments.values():
+    for segment in sm.segments():
         pages = 0
         records = 0
         used = 0
         for page_id in segment.page_ids:
-            page = sm._pool.fetch(page_id)
+            page = sm.fetch_page(page_id)
             pages += 1
             records += page.record_count
             used += page.used_bytes

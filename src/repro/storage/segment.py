@@ -30,7 +30,7 @@ class Segment:
     description: str = ""
     page_ids: list[int] = field(default_factory=list)
     # Pages believed to have reusable free space (checked on allocation).
-    _free_candidates: set[int] = field(default_factory=set)
+    free_candidates: set[int] = field(default_factory=set)
 
     @property
     def page_count(self) -> int:
@@ -41,15 +41,15 @@ class Segment:
 
     def remove_page(self, page_id: int) -> None:
         """Forget a page entirely (crash recovery discards torn pages)."""
-        if page_id in self._free_candidates:
-            self._free_candidates.discard(page_id)
+        if page_id in self.free_candidates:
+            self.free_candidates.discard(page_id)
         if page_id in self.page_ids:
             self.page_ids.remove(page_id)
 
     def note_free_space(self, page_id: int, free_bytes: int) -> None:
         """Record that a page gained free space (after a delete)."""
         if free_bytes >= REUSE_THRESHOLD_BYTES:
-            self._free_candidates.add(page_id)
+            self.free_candidates.add(page_id)
 
     def candidate_pages(self) -> list[int]:
         """Pages to try before opening a new one (most recent first).
@@ -61,13 +61,13 @@ class Segment:
         if self.page_ids:
             candidates.append(self.page_ids[-1])
         candidates.extend(
-            page_id for page_id in self._free_candidates
+            page_id for page_id in self.free_candidates
             if not candidates or page_id != candidates[0]
         )
         return candidates
 
     def drop_candidate(self, page_id: int) -> None:
-        self._free_candidates.discard(page_id)
+        self.free_candidates.discard(page_id)
 
     def contiguous_run_after(self, page_id: int, limit: int) -> int:
         """Length of this segment's contiguous page run after ``page_id``.
@@ -103,16 +103,15 @@ class Segment:
             "name": self.name,
             "description": self.description,
             "page_ids": list(self.page_ids),
-            "free_candidates": sorted(self._free_candidates),
+            "free_candidates": sorted(self.free_candidates),
         }
 
     @classmethod
     def from_meta(cls, meta: dict) -> "Segment":
-        segment = cls(
+        return cls(
             segment_id=meta["segment_id"],
             name=meta["name"],
             description=meta.get("description", ""),
             page_ids=list(meta["page_ids"]),
+            free_candidates=set(meta.get("free_candidates", ())),
         )
-        segment._free_candidates = set(meta.get("free_candidates", ()))
-        return segment

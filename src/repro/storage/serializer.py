@@ -57,7 +57,10 @@ def deserialize(payload: bytes) -> object:
     """Decode bytes produced by :func:`serialize`."""
     try:
         return pickle.loads(payload)
-    except Exception as exc:  # corrupt page
+    # Corrupt payloads raise whatever opcode pickle trips over
+    # (UnpicklingError, EOFError, ValueError, ...); catch them all and
+    # translate into the storage stack's own corruption error.
+    except Exception as exc:  # lint: ignore[LF06]
         raise StorageError(f"corrupt record payload: {exc}") from exc
 
 

@@ -1,0 +1,17 @@
+# module: repro.storage.badoswrite
+"""Violation: os-level I/O and write-mode open bypass the buffer pool."""
+
+import os
+
+
+def raw_write(fd, data):
+    os.write(fd, data)
+
+
+def side_channel(path, payload):
+    with open(path, "wb") as handle:
+        handle.write(payload)
+
+
+def rename_swap(a, b):
+    os.replace(a, b)

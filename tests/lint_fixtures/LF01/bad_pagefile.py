@@ -1,0 +1,14 @@
+# module: repro.storage.badpagefile
+"""Violation: constructs a page file outside the disk layer."""
+
+from repro.storage.disk import PageFile
+
+
+def sneaky_open(path):
+    return PageFile(path)
+
+
+def sneaky_faulty(path, injector):
+    from repro.storage.faultinject import FaultyPageFile
+
+    return FaultyPageFile(path, injector)

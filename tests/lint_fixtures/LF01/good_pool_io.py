@@ -1,0 +1,18 @@
+# module: repro.storage.goodio
+"""Clean: all I/O goes through the pool; read-mode open is fine."""
+
+
+class Exporter:
+    def __init__(self, pool):
+        self._pool = pool
+
+    def load(self, page_id):
+        return self._pool.fetch(page_id)
+
+    def read_config(self, path):
+        with open(path) as handle:  # read mode: not a write point
+            return handle.read()
+
+    def read_explicit(self, path):
+        with open(path, "r", encoding="utf-8") as handle:
+            return handle.read()

@@ -1,0 +1,14 @@
+# module: repro.benchmark.badorder
+"""Violation: iterating sets in hash order leaks nondeterminism."""
+
+
+def flush_order(dirty):
+    pages = set(dirty)
+    for page_id in pages:  # hash order reaches the write schedule
+        yield page_id
+
+
+def labels(ops):
+    tags: set = set()
+    tags.update(ops)
+    return [op.upper() for op in tags]

@@ -1,0 +1,14 @@
+# module: repro.storage.disk
+"""Violation: wall-clock time and global random on the crash path."""
+
+import random
+import time
+
+
+def stamp():
+    return time.time()
+
+
+def jitter(pages):
+    random.shuffle(pages)
+    return pages

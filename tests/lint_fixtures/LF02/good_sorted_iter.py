@@ -1,0 +1,19 @@
+# module: repro.benchmark.goodorder
+"""Clean: sets are consumed through order-insensitive or sorting wrappers."""
+
+
+def schedule(page_ids):
+    pending = set(page_ids)
+    for page_id in sorted(pending):  # canonical order
+        yield page_id
+
+
+def census(states: set) -> int:
+    return len(states)
+
+
+def subset(ops):
+    collected: set = set()
+    collected.update(ops)
+    # set -> set keeps no order, so a set comprehension is fine
+    return {op for op in collected if op.startswith("Q")}

@@ -1,0 +1,13 @@
+# module: repro.storage.badchain
+"""Violation: chained reach-ins through a foreign object graph."""
+
+
+class Inspector:
+    def __init__(self, manager):
+        self.manager = manager
+
+    def raw_page(self, page_id):
+        return self.manager._pool._frames[page_id]
+
+    def disk_epoch(self):
+        return self.manager._disk.epoch

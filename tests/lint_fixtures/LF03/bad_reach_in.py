@@ -1,0 +1,10 @@
+# module: repro.storage.badreach
+"""Violation: reads another module's private state directly."""
+
+
+def count_objects(sm):
+    return len(sm._directory)
+
+
+def segment_names(sm):
+    return [segment.name for segment in sm._segments.values()]

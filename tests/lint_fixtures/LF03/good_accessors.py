@@ -1,0 +1,23 @@
+# module: repro.storage.goodaccess
+"""Clean: own privates, same-module friends, and public accessors only."""
+
+
+class Pool:
+    def __init__(self):
+        self._frames = {}
+
+    def fetch(self, page_id):
+        return self._frames.get(page_id)
+
+
+def pool_len(pool: Pool) -> int:
+    # same-module friend access: _frames is defined in this module
+    return len(pool._frames)
+
+
+def summarize(sm):
+    return [segment.name for segment in sm.segments()]
+
+
+def clone(point):
+    return point._replace(x=0)  # namedtuple API, not privacy

@@ -1,0 +1,11 @@
+# module: repro.storage.badlockleak
+"""Violation: a conflict partway through leaks every lock already taken."""
+
+
+class Session:
+    def __init__(self, locks):
+        self._locks = locks
+
+    def lock_all(self, client, oids):
+        for oid in sorted(oids):
+            self._locks.lock_object(client, oid)

@@ -1,0 +1,21 @@
+# module: repro.storage.badlockorder
+"""Violation: acquisition order follows the caller's argument order."""
+
+
+class Session:
+    def __init__(self, locks):
+        self._locks = locks
+
+    def lock_all(self, client, oids):
+        taken = []
+        try:
+            for oid in oids:  # two clients, opposite orders -> deadlock
+                self._locks.lock_object(client, oid)
+                taken.append(oid)
+        finally:
+            if len(taken) != len(oids):
+                self.release_all(client, taken)
+
+    def release_all(self, client, oids):
+        for oid in oids:
+            self._locks.unlock(client, oid)

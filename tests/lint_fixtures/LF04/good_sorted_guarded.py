@@ -1,0 +1,25 @@
+# module: repro.storage.goodlocks
+"""Clean: canonical acquisition order plus a release guard."""
+
+
+class LockError(Exception):
+    pass
+
+
+class Session:
+    def __init__(self, locks):
+        self._locks = locks
+
+    def lock_all(self, client, oids):
+        newly = []
+        try:
+            for oid in sorted(set(oids)):  # canonical oid order
+                self._locks.lock_object(client, oid)
+                newly.append(oid)
+        except LockError:
+            self.release_all(client, newly)
+            raise
+
+    def release_all(self, client, oids):
+        for oid in oids:
+            self._locks.unlock(client, oid)

@@ -1,0 +1,10 @@
+# module: repro.storage.badundeclared
+"""Violation: increments a counter StorageStats never declares."""
+
+
+class Engine:
+    def __init__(self, stats):
+        self.stats = stats
+
+    def work(self):
+        self.stats.phantom_ops += 1

@@ -1,0 +1,10 @@
+# module: repro.storage.badunmerged
+"""Violation: the counter exists but the aggregator and report drop it."""
+
+
+class Engine:
+    def __init__(self, stats):
+        self._stats = stats
+
+    def work(self):
+        self._stats.lost_counter += 1

@@ -1,0 +1,10 @@
+# module: repro.storage.goodcount
+"""Clean: the incremented counter is declared, merged and rendered."""
+
+
+class Engine:
+    def __init__(self, stats):
+        self.stats = stats
+
+    def work(self):
+        self.stats.ops_done += 1

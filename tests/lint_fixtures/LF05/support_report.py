@@ -1,0 +1,8 @@
+# module: repro.benchmark.report
+"""Support: the renderer names the counters it shows."""
+
+COUNTERS = ("ops_done",)
+
+
+def render_stats(stats):
+    return "\n".join(f"{name} {getattr(stats, name)}" for name in COUNTERS)

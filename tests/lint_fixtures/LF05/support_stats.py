@@ -1,0 +1,13 @@
+# module: repro.storage.stats
+"""Support: a hand-written aggregator that names each merged field."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class StorageStats:
+    ops_done: int = 0
+    lost_counter: int = 0  # declared but never merged nor rendered
+
+    def merge(self, other):
+        self.ops_done += other.ops_done

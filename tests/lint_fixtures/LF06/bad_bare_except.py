@@ -1,0 +1,9 @@
+# module: repro.storage.badbare
+"""Violation: a bare except swallows InjectedCrashError."""
+
+
+def tidy(store):
+    try:
+        store.flush()
+    except:
+        pass

@@ -1,0 +1,20 @@
+# module: repro.storage.badbroad
+"""Violation: unjustified broad handlers, alone and inside a tuple."""
+
+
+class WrapError(Exception):
+    pass
+
+
+def wrap(fn):
+    try:
+        return fn()
+    except Exception as exc:  # translation without a justification
+        raise WrapError(str(exc)) from exc
+
+
+def tolerant(fn):
+    try:
+        return fn()
+    except (ValueError, Exception):
+        return None

@@ -1,0 +1,33 @@
+# module: repro.storage.goodexcept
+"""Clean: concrete types, bare re-raise, or a justified suppression."""
+
+
+class StorageError(Exception):
+    pass
+
+
+def read(store, oid):
+    try:
+        return store.read(oid)
+    except StorageError:
+        return None
+
+
+def guarded(store):
+    try:
+        return store.scan()
+    except Exception:
+        store.close()
+        raise  # bare re-raise preserves the original exception
+
+
+def translate(blob):
+    try:
+        return decode(blob)
+    # decoding raises arbitrary error types for corrupt input
+    except Exception as exc:  # lint: ignore[LF06]
+        raise StorageError(str(exc)) from exc
+
+
+def decode(blob):
+    return blob
