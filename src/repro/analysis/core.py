@@ -197,7 +197,11 @@ def run_rules(project: Project, rules: Sequence[Rule]) -> list[Finding]:
 
 def in_storage_stack(name: str) -> bool:
     """The modules whose invariants the LF rules guard."""
-    return name.startswith("repro.storage") or name.startswith("repro.labbase")
+    return (
+        name.startswith("repro.storage")
+        or name.startswith("repro.labbase")
+        or name.startswith("repro.server")
+    )
 
 
 def in_crash_path(name: str) -> bool:

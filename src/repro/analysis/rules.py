@@ -333,6 +333,7 @@ _RELEASE_NAMES = frozenset(
     {
         "release", "release_all", "unlock_page", "unlock_all",
         "_unlock_pages", "unlock_pages", "unlock", "release_locks",
+        "_restore_pages", "downgrade", "downgrade_page",
     }
 )
 

@@ -80,6 +80,10 @@ def render_stats(
         "aborts",
         "lock_acquisitions",
         "lock_waits",
+        "lock_upgrades",
+        "group_commits",
+        "sessions_per_group",
+        "commit_stalls",
         "cache_hits",
         "cache_misses",
         "cache_coalesced",

@@ -9,6 +9,7 @@
     python -m repro demo [--clones N]
     python -m repro query DBFILE "state(M, S)."
     python -m repro shell DBFILE
+    python -m repro serve [DBFILE] [--port P] [--smoke N]
     python -m repro verify DBFILE [--server OStore]
     python -m repro recover DBFILE [--server OStore]
     python -m repro lint [PATHS] [--format json]
@@ -315,6 +316,57 @@ def cmd_lint(args) -> int:
     return lint_main(lint_argv)
 
 
+def cmd_serve(args) -> int:
+    from repro.server import (
+        LabFlowService,
+        ServiceRunner,
+        bootstrap_schema,
+        run_concurrent_clients,
+    )
+    from repro.storage import ObjectStoreSM
+
+    sm = ObjectStoreSM(path=args.db, checkpoint_every=args.checkpoint_every)
+    db = LabBase(sm)
+    bootstrap_schema(db)
+    service = LabFlowService(
+        db, group_commit=not args.no_group_commit, group_cap=args.group_cap
+    )
+    runner = ServiceRunner(service, host=args.host, port=args.port)
+    host, port = runner.start()
+    print(f"serving {args.db or '<in-memory>'} on {host}:{port} "
+          f"(group commit {'off' if args.no_group_commit else 'on'}, "
+          f"cap {args.group_cap})")
+    try:
+        if args.smoke:
+            summary = run_concurrent_clients(
+                host, port, clients=args.smoke, units=args.units
+            )
+            for name in sorted(summary):
+                print(f"  {name}: {summary[name]}")
+            stats = service.stats_snapshot()
+            print(f"  group_commits: {stats['group_commits']}  "
+                  f"sessions_per_group: {stats['sessions_per_group']}  "
+                  f"commit_stalls: {stats['commit_stalls']}")
+            service.drain()
+            report = db.verify_storage()
+            if not report.ok:
+                for problem in report.problems:
+                    print(f"  {problem}", file=sys.stderr)
+                print("verify: FAILED", file=sys.stderr)
+                return 1
+            print("verify: OK")
+            return 0
+        try:
+            import threading
+            threading.Event().wait()
+        except KeyboardInterrupt:
+            print("shutting down")
+        return 0
+    finally:
+        runner.stop()
+        sm.close()
+
+
 def cmd_query(args) -> int:
     program, db = _open_program(args.db)
     _print_solutions(program, args.goal, args.limit)
@@ -419,6 +471,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rules", default=None, metavar="LF01,LF02,...")
     p.add_argument("--list-rules", action="store_true")
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser("serve",
+                       help="serve a database to concurrent socket clients")
+    p.add_argument("db", nargs="?", default=None,
+                   help="database file (ObjectStoreSM format; created if "
+                        "missing; omitted = in-memory)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="listening port (default 0 picks a free one)")
+    p.add_argument("--group-cap", type=int, default=8,
+                   help="update units that close a commit group (default 8)")
+    p.add_argument("--no-group-commit", action="store_true",
+                   help="one storage commit per update unit")
+    p.add_argument("--checkpoint-every", type=int, default=1,
+                   help="checkpoint cadence in commits (default 1)")
+    p.add_argument("--smoke", type=int, default=0, metavar="N",
+                   help="run N scripted concurrent clients, verify, and exit")
+    p.add_argument("--units", type=int, default=24,
+                   help="units per smoke client (default 24)")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("query", help="run one deductive query on a database")
     p.add_argument("db", help="database file (ObjectStoreSM format)")

@@ -187,3 +187,20 @@ class BenchmarkError(ReproError):
 
 class ConfigError(BenchmarkError):
     """Invalid benchmark configuration parameters."""
+
+
+# ---------------------------------------------------------------------------
+# Server errors
+# ---------------------------------------------------------------------------
+
+
+class ServerError(ReproError):
+    """Base class for served-session failures."""
+
+
+class ProtocolError(ServerError):
+    """A malformed or unanswerable client/server message."""
+
+
+class SessionError(ServerError):
+    """A request against an unknown or closed served session."""

@@ -14,15 +14,47 @@ session raises — the Texas behaviour.  The simulation is single-process
 (sessions interleave, they do not run in parallel), so a conflicting
 lock raises :class:`~repro.errors.LockError` where a real client would
 block; callers handle it the way 1996 applications did: release and
-retry.
+retry.  The served layer (``repro.server``) builds the blocking
+behaviour — queued waits, timeouts, bounded retry — on top of exactly
+this raise-and-retry surface.
+
+Partial failure discipline: a multi-page acquisition that conflicts
+partway undoes exactly what it changed — locks it *newly* took are
+released, SHARED holds it *upgraded* to EXCLUSIVE are downgraded back
+to SHARED.  (Releasing an upgraded page outright would drop a lock the
+session held before the failed call; leaving it EXCLUSIVE would wrongly
+refuse every other reader for the life of the session.)
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, TypeVar
 
 from repro.errors import ConcurrencyUnsupportedError, LabBaseError, LockError
 from repro.labbase.database import LabBase
+from repro.storage.locks import LockGrant
+
+T = TypeVar("T")
+
+
+@dataclass
+class LockedPages:
+    """What one acquisition call changed, and therefore how to undo it.
+
+    ``new`` pages are released on rollback; ``upgraded`` pages (SHARED
+    promoted to EXCLUSIVE) are downgraded back to SHARED.
+    """
+
+    new: list[int] = field(default_factory=list)
+    upgraded: list[int] = field(default_factory=list)
+
+    def extend(self, other: "LockedPages") -> None:
+        self.new.extend(other.new)
+        self.upgraded.extend(other.upgraded)
+
+    def __bool__(self) -> bool:
+        return bool(self.new or self.upgraded)
 
 
 class Session:
@@ -69,15 +101,20 @@ class Session:
         self._check()
         involved = [int(oid) for oid in involves]
         self._manager.lock_objects(self.name, involved, exclusive=True)
-        return self.db.record_step(
-            class_name, valid_time, involved, results, version_id
+        return self._manager.run_attributed(
+            self.name,
+            lambda: self.db.record_step(
+                class_name, valid_time, involved, results, version_id
+            ),
         )
 
     def set_state(self, material_oid: int, state: str, valid_time: int) -> None:
         """U3 under an exclusive lock on the material."""
         self._check()
         self.lock_material(material_oid, exclusive=True)
-        self.db.set_state(material_oid, state, valid_time)
+        self._manager.run_attributed(
+            self.name, lambda: self.db.set_state(material_oid, state, valid_time)
+        )
 
     def most_recent(self, material_oid: int, attribute: str) -> object:
         """Q2 under a shared lock on the material."""
@@ -92,18 +129,24 @@ class Session:
         self._check()
         return self._manager.release(self.name)
 
-    def close(self) -> None:
+    def close(self, failed: bool = False) -> None:
+        """Detach the session, surrendering locks *and* cache claims.
+
+        ``failed=True`` is the exception path: writes the session
+        buffered in the object cache are invalidated instead of drained
+        — a client that died mid-unit-of-work must not have its
+        half-finished mutations written out by the close itself.
+        """
         if self.closed:
             return
-        self._manager.release(self.name)
-        self._manager.detach(self.name)
         self.closed = True
+        self._manager.detach(self.name, failed=failed)
 
     def __enter__(self) -> "Session":
         return self
 
-    def __exit__(self, *exc_info: object) -> None:
-        self.close()
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close(failed=exc_type is not None)
 
 
 class SessionManager:
@@ -113,6 +156,7 @@ class SessionManager:
         self.db = db
         self._sm = db.storage
         self._sessions: dict[str, Session] = {}
+        self._session_oids: dict[str, set[int]] = {}
         if not hasattr(self._sm, "attach_client"):
             raise ConcurrencyUnsupportedError(
                 f"{self._sm.name} has no client-session support at all"
@@ -127,66 +171,112 @@ class SessionManager:
         self._sessions[name] = session
         return session
 
-    def lock_object(self, client: str, oid: int, exclusive: bool) -> list[int]:
-        """Lock one object's page(s); returns the newly acquired page ids.
+    def lock_object(self, client: str, oid: int, exclusive: bool) -> LockedPages:
+        """Lock one object's page(s); returns what the call changed.
 
         All-or-nothing: a conflict on a later page of a chunked object
-        releases the pages this call already took before re-raising.
+        restores the pages this call already touched (new locks
+        released, upgrades downgraded) before re-raising.
 
         A *newly granted* lock is a hand-off point: another client may
         have updated the object since this client last saw it, so the
         cached copy is dropped and the next read goes through the
         storage manager — exactly what a real page-server client does
-        when it re-acquires a page lock.
+        when it re-acquires a page lock.  An upgrade is not a hand-off:
+        the SHARED hold already excluded other writers.
         """
         if not self._sm.supports_concurrency:
             # single-client store: attach succeeded, locks are moot
-            return []
-        newly: list[int] = []
+            return LockedPages()
+        taken = LockedPages()
         try:
             for page_id in self._pages_of(oid):
-                if self._sm.lock_page(client, page_id, exclusive=exclusive):
-                    newly.append(page_id)
+                grant = self._sm.lock_page(client, page_id, exclusive=exclusive)
+                if grant is LockGrant.NEW:
+                    taken.new.append(page_id)
+                elif grant is LockGrant.UPGRADED:
+                    taken.upgraded.append(page_id)
         except LockError:
-            self._unlock_pages(client, newly)
+            self._restore_pages(client, taken)
             raise
-        if newly:
+        if taken.new:
             self.db.cache.evict(oid)
-        return newly
+        return taken
 
-    def lock_objects(self, client: str, oids: Iterable[int], exclusive: bool) -> None:
+    def lock_objects(
+        self, client: str, oids: Iterable[int], exclusive: bool
+    ) -> LockedPages:
         """Lock several objects in globally consistent (oid) order.
 
         Sorting gives every session the same acquisition order, so two
         sessions locking ``[A, B]`` and ``[B, A]`` contend on the same
         first object instead of deadlocking/livelocking on each other's
         partial grabs; on conflict every lock newly acquired by this
-        call is released before the LockError propagates.
+        call is released — and every upgrade downgraded — before the
+        LockError propagates.
         """
+        taken = LockedPages()
         if not self._sm.supports_concurrency:
-            return
-        newly: list[int] = []
+            return taken
         try:
             for oid in sorted(set(int(oid) for oid in oids)):
-                newly.extend(self.lock_object(client, oid, exclusive))
+                taken.extend(self.lock_object(client, oid, exclusive))
         except LockError:
-            self._unlock_pages(client, newly)
+            self._restore_pages(client, taken)
             raise
+        return taken
 
-    def _unlock_pages(self, client: str, page_ids: list[int]) -> None:
-        for page_id in page_ids:
+    def _restore_pages(self, client: str, taken: LockedPages) -> None:
+        """Undo a partial acquisition: release new locks, demote upgrades."""
+        for page_id in taken.new:
             self._sm.unlock_page(client, page_id)
+        for page_id in taken.upgraded:
+            self._sm.downgrade_page(client, page_id)
 
     def _pages_of(self, oid: int) -> list[int]:
         return self._sm.pages_of(oid)
 
+    def run_attributed(self, client: str, operation: Callable[[], T]) -> T:
+        """Run one client operation, attributing the dirty cache entries
+        it creates to the client.
+
+        Sessions interleave but do not run in parallel (single-process),
+        so diffing the cache's dirty-oid set around the call names
+        exactly the entries this operation buffered — including side
+        records (per-state sets, histories, catalog) the client never
+        locked directly.  :meth:`detach` settles the accumulated claims.
+        """
+        before = self.db.cache.dirty_oid_set()
+        result = operation()
+        created = self.db.cache.dirty_oid_set() - before
+        if created:
+            self._session_oids.setdefault(client, set()).update(created)
+        return result
+
     def release(self, client: str) -> int:
+        """End of transaction: all locks go, and with them the session's
+        claim on cached object state (hand-off to the next locker)."""
+        self._session_oids.pop(client, None)
         if not self._sm.supports_concurrency:
             return 0
         return self._sm.unlock_all(client)
 
-    def detach(self, name: str) -> None:
+    def detach(self, name: str, failed: bool = False) -> None:
+        """Detach a client, settling its cache claims before its locks drop.
+
+        Every dirty cache entry the session's operations created since
+        its last ``release`` (tracked by :meth:`run_attributed`) is
+        settled here.  A clean detach drains those entries (write-back)
+        so nothing the session completed is stranded; a failed detach
+        invalidates them (drop without writing) so nothing half-finished
+        leaks out.  Either way the entries are settled *while the page
+        locks are still held*, then ``detach_client`` surrenders the
+        locks.
+        """
         self._sessions.pop(name, None)
+        touched = self._session_oids.pop(name, set())
+        for oid in sorted(touched):
+            self.db.cache.evict(oid, write_back=not failed)
         self._sm.detach_client(name)
 
     def open_sessions(self) -> list[str]:

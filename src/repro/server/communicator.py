@@ -1,0 +1,154 @@
+"""Wire protocol between served LabFlow clients and the service.
+
+One request, one response, newline-framed JSON — deliberately boring.
+The interesting concurrency lives in the service core
+(:mod:`repro.server.service_runner`); the communicator only has to be
+unambiguous, deterministic (keys are sorted, so a captured exchange
+byte-compares across runs) and strict: anything malformed raises
+:class:`~repro.errors.ProtocolError` instead of guessing.
+
+Values must be JSON-representable (LabBase records are dicts, lists,
+strings and numbers, so everything the served operations return
+qualifies; tuples arrive back as lists).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from dataclasses import dataclass, field
+
+from repro.errors import ProtocolError
+
+#: Hard cap on one encoded message; a line longer than this is a
+#: protocol violation, not a workload.
+MAX_MESSAGE_BYTES = 4 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class Request:
+    """One client operation: ``op`` applied for session ``session``."""
+
+    op: str
+    session: str = ""
+    args: dict[str, object] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Response:
+    """The service's answer: a value, or a typed error."""
+
+    ok: bool
+    value: object = None
+    error: str = ""
+    error_type: str = ""
+
+
+def encode_request(request: Request) -> bytes:
+    payload = {
+        "op": request.op,
+        "session": request.session,
+        "args": request.args,
+    }
+    return json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
+
+
+def decode_request(line: bytes) -> Request:
+    payload = _decode_payload(line)
+    op = payload.get("op")
+    session = payload.get("session", "")
+    args = payload.get("args", {})
+    if not isinstance(op, str) or not op:
+        raise ProtocolError("request has no operation name")
+    if not isinstance(session, str):
+        raise ProtocolError("request session must be a string")
+    if not isinstance(args, dict):
+        raise ProtocolError("request args must be an object")
+    return Request(op=op, session=session, args=args)
+
+
+def encode_response(response: Response) -> bytes:
+    payload = {
+        "ok": response.ok,
+        "value": response.value,
+        "error": response.error,
+        "error_type": response.error_type,
+    }
+    return json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
+
+
+def decode_response(line: bytes) -> Response:
+    payload = _decode_payload(line)
+    ok = payload.get("ok")
+    if not isinstance(ok, bool):
+        raise ProtocolError("response has no ok flag")
+    return Response(
+        ok=ok,
+        value=payload.get("value"),
+        error=str(payload.get("error", "")),
+        error_type=str(payload.get("error_type", "")),
+    )
+
+
+def _decode_payload(line: bytes) -> dict[str, object]:
+    if len(line) > MAX_MESSAGE_BYTES:
+        raise ProtocolError(f"message exceeds {MAX_MESSAGE_BYTES} bytes")
+    try:
+        payload = json.loads(line.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"undecodable message: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError("message must be a JSON object")
+    return payload
+
+
+class Channel:
+    """Newline-framed JSON messages over one connected socket.
+
+    Both ends use the same channel: the client sends requests and reads
+    responses, the server reads requests and sends responses.  ``recv_*``
+    returns ``None`` on a clean EOF (peer closed), raises
+    :class:`ProtocolError` on garbage.
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._reader = sock.makefile("rb")
+
+    def send_request(self, request: Request) -> None:
+        self._sock.sendall(encode_request(request))
+
+    def recv_request(self) -> Request | None:
+        line = self._read_line()
+        return None if line is None else decode_request(line)
+
+    def send_response(self, response: Response) -> None:
+        self._sock.sendall(encode_response(response))
+
+    def recv_response(self) -> Response | None:
+        line = self._read_line()
+        return None if line is None else decode_response(line)
+
+    def _read_line(self) -> bytes | None:
+        line = self._reader.readline(MAX_MESSAGE_BYTES + 1)
+        if not line:
+            return None
+        if not line.endswith(b"\n"):
+            raise ProtocolError("unterminated message (peer died mid-line?)")
+        return line
+
+    def close(self) -> None:
+        # shutdown() first: closing alone does not unblock a thread
+        # sitting in readline() on the makefile wrapper.
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._reader.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass

@@ -1,0 +1,483 @@
+"""The served session layer: N clients, one LabBase, one lock space.
+
+``LabFlowService`` is the synchronous heart of the server.  Every client
+request is one **unit of work**: page locks are acquired first (oid
+order, all-or-nothing), then the operation runs with its object writes
+buffered in the shared object cache, then the unit drains — its writes
+reach the storage manager in oid order — and, for updates, joins the
+open commit group (:mod:`repro.server.commit`).  Units execute one at a
+time under the service mutex; concurrency is in the *interleaving* of
+sessions' units and in the socket layer around the core, exactly like
+the page-server model the paper describes.
+
+Lock discipline (strict two-phase for updates):
+
+* update units take EXCLUSIVE locks up front and keep them until the
+  group closes — no other session can observe a unit whose pages are
+  not yet durable;
+* query units take SHARED locks and give them back at the unit's end;
+* a conflict raises :class:`~repro.errors.LockError` inside the core —
+  the service turns that into the queued-wait discipline of a real page
+  server: close the open group early if it holds the contended locks
+  (a ``commit_stall``), otherwise wait (timeout-bounded), and retry up
+  to a fixed budget before the error reaches the client.
+
+Because all lock holders across unit boundaries are, by construction,
+sessions with units in the open group, closing the group releases every
+blocking lock: the retry always makes progress, so there is no deadlock
+— only bounded waiting.
+
+Durability: a unit's completion acknowledges *execution*; durability
+arrives when its group closes (cap reached, conflict stall, or an
+explicit ``drain``).  With ``group_commit=False`` every update unit
+closes its own group — the sequential per-session baseline bench_a6
+compares against.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Iterable
+
+from repro.errors import (
+    DuplicateKeyError,
+    LockError,
+    ProtocolError,
+    ReproError,
+    ServerError,
+    SessionError,
+    TransactionError,
+)
+from repro.labbase.database import LabBase
+from repro.labbase.sessions import LockedPages, SessionManager
+from repro.server.commit import DEFAULT_GROUP_CAP, CommitCoordinator
+from repro.server.communicator import Channel, Request, Response
+
+#: Retry budget for a lock-conflicted unit before the error reaches the
+#: client (who may retry again at its own layer).
+DEFAULT_MAX_RETRIES = 8
+
+#: Base wait (seconds) between in-core retries when flushing the open
+#: group did not resolve the conflict (i.e. another thread holds the
+#: mutex-protected state mid-change).  Grows linearly with attempts.
+DEFAULT_RETRY_BACKOFF = 0.005
+
+_UPDATE_OPS = frozenset({"create_material", "record_step", "set_state"})
+_QUERY_OPS = frozenset(
+    {"lookup", "most_recent", "state_of", "in_state", "history_len"}
+)
+
+
+class LabFlowService:
+    """N named sessions running workflow units against one LabBase."""
+
+    def __init__(
+        self,
+        db: LabBase,
+        *,
+        group_commit: bool = True,
+        group_cap: int = DEFAULT_GROUP_CAP,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        retry_backoff: float = DEFAULT_RETRY_BACKOFF,
+    ) -> None:
+        if db.storage.in_transaction:
+            raise TransactionError(
+                "the served database must not have an open transaction; "
+                "the service owns commit timing"
+            )
+        self._db = db
+        self._sessions = SessionManager(db)
+        self._coordinator = CommitCoordinator(
+            db, enabled=group_commit, cap=group_cap
+        )
+        self._max_retries = max(0, max_retries)
+        self._retry_backoff = max(0.0, retry_backoff)
+        self._mutex = threading.RLock()
+        self._wakeup = threading.Condition(self._mutex)
+        self._completed: list[tuple[str, str, dict[str, object]]] = []
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def db(self) -> LabBase:
+        return self._db
+
+    @property
+    def group_commit(self) -> bool:
+        return self._coordinator.enabled
+
+    def open_sessions(self) -> list[str]:
+        with self._mutex:
+            return self._sessions.open_sessions()
+
+    def completed_units(self) -> list[tuple[str, str, dict[str, object]]]:
+        """Update units in completion order: ``(session, op, args)``.
+
+        Replaying exactly this sequence through a fresh service — any
+        grouping, any session layout — produces a bit-identical
+        database: the serial witness the property tests compare against.
+        """
+        with self._mutex:
+            return [(s, op, dict(args)) for s, op, args in self._completed]
+
+    def stats_snapshot(self) -> dict[str, int]:
+        with self._mutex:
+            return self._db.storage.stats.snapshot()
+
+    # -- session lifecycle ---------------------------------------------------
+
+    def open_session(self, name: str) -> None:
+        if not name:
+            raise SessionError("session name must be non-empty")
+        with self._mutex:
+            self._sessions.open_session(name)
+
+    def close_session(self, name: str, failed: bool = False) -> None:
+        """Detach a session; its group-pending units stay committed.
+
+        A failing session only loses what was never completed — units
+        already in the open group were executed and drained, so they
+        remain part of the group and become durable when it closes.
+        """
+        with self._mutex:
+            if name not in self._sessions.open_sessions():
+                return
+            self._sessions.detach(name, failed=failed)
+            self._wakeup.notify_all()
+
+    # -- the unit-of-work surface -------------------------------------------
+
+    def submit(
+        self, name: str, op: str, args: dict[str, object] | None = None
+    ) -> object:
+        """Run one unit of work for session ``name`` and return its value.
+
+        Retries lock conflicts internally (group flush + bounded
+        backoff); raises the final :class:`LockError` only when the
+        budget is exhausted.
+        """
+        call_args: dict[str, object] = dict(args or {})
+        if op not in _UPDATE_OPS and op not in _QUERY_OPS:
+            raise ProtocolError(f"unknown operation {op!r}")
+        with self._mutex:
+            if name not in self._sessions.open_sessions():
+                raise SessionError(f"no open session {name!r}")
+            attempts = 0
+            while True:
+                try:
+                    return self._run_unit(name, op, call_args)
+                except LockError:
+                    attempts += 1
+                    stalled = self._flush_conflicting_group()
+                    if attempts > self._max_retries:
+                        raise
+                    if not stalled and self._retry_backoff:
+                        self._wakeup.wait(self._retry_backoff * attempts)
+
+    def drain(self) -> int:
+        """Close the open group now; returns the units made durable."""
+        with self._mutex:
+            pending = self._coordinator.pending_units
+            self._close_group()
+            return pending
+
+    def shutdown(self) -> None:
+        """Drain, then close every remaining session (clean detach)."""
+        with self._mutex:
+            self._close_group()
+            for name in self._sessions.open_sessions():
+                self._sessions.detach(name)
+            self._wakeup.notify_all()
+
+    # -- unit internals ------------------------------------------------------
+
+    def _run_unit(self, name: str, op: str, args: dict[str, object]) -> object:
+        cache = self._db.cache
+        taken = self._acquire(name, op, args)
+        cache.begin_unit()
+        try:
+            value = self._execute(name, op, args)
+        except ReproError:
+            # The unit never happened: drop its buffered writes and put
+            # its locks back the way the acquisition found them.
+            cache.discard_unit()
+            self._restore_unit_locks(name, taken)
+            raise
+        cache.end_unit()
+        if op in _UPDATE_OPS:
+            self._completed.append((name, op, dict(args)))
+            self._coordinator.note_unit(name)
+            if self._coordinator.should_close():
+                self._close_group()
+        else:
+            self._release_query_locks(name, taken)
+        return value
+
+    def _acquire(self, name: str, op: str, args: dict[str, object]) -> LockedPages:
+        if op == "record_step":
+            involves = [int(oid) for oid in _as_iterable(args.get("involves"))]
+            return self._sessions.lock_objects(name, involves, exclusive=True)
+        if op == "set_state":
+            return self._sessions.lock_object(
+                name, int(_as_int(args.get("material_oid"))), True
+            )
+        if op in ("most_recent", "state_of", "history_len"):
+            return self._sessions.lock_object(
+                name, int(_as_int(args.get("material_oid"))), False
+            )
+        # create_material locks nothing: the material does not exist yet
+        # and its record may share a page only with records the executor
+        # serializes anyway.  lookup/in_state are catalog-level reads.
+        return LockedPages()
+
+    def _execute(self, name: str, op: str, args: dict[str, object]) -> object:
+        db = self._db
+        if op == "create_material":
+            class_name = str(args.get("class_name"))
+            key = str(args.get("key"))
+            # Pre-check: create_material allocates before its index
+            # insert can raise, and allocation is not undoable by a
+            # unit discard — refuse duplicates before touching storage.
+            if db.material_exists(class_name, key):
+                raise DuplicateKeyError(class_name, key)
+            state = args.get("state")
+            return db.create_material(
+                class_name,
+                key,
+                _as_int(args.get("valid_time")),
+                state=None if state is None else str(state),
+            )
+        if op == "record_step":
+            results = args.get("results")
+            if results is not None and not isinstance(results, dict):
+                raise ProtocolError("record_step results must be an object")
+            version = args.get("version_id")
+            return db.record_step(
+                str(args.get("class_name")),
+                _as_int(args.get("valid_time")),
+                [int(oid) for oid in _as_iterable(args.get("involves"))],
+                results,
+                None if version is None else int(_as_int(version)),
+            )
+        if op == "set_state":
+            db.set_state(
+                _as_int(args.get("material_oid")),
+                str(args.get("state")),
+                _as_int(args.get("valid_time")),
+            )
+            return None
+        if op == "most_recent":
+            return db.most_recent(
+                _as_int(args.get("material_oid")), str(args.get("attribute"))
+            )
+        if op == "state_of":
+            return db.state_of(_as_int(args.get("material_oid")))
+        if op == "lookup":
+            return db.lookup(str(args.get("class_name")), str(args.get("key")))
+        if op == "in_state":
+            return db.in_state(str(args.get("state")))
+        if op == "history_len":
+            return len(db.material_history(_as_int(args.get("material_oid"))))
+        raise ProtocolError(f"unknown operation {op!r}")
+
+    def _close_group(self) -> None:
+        participants = self._coordinator.close()
+        for participant in participants:
+            self._sessions.release(participant)
+        self._wakeup.notify_all()
+
+    def _flush_conflicting_group(self) -> bool:
+        """Conflict handling: the open group may hold the contended locks.
+
+        Closing it early releases them (and makes its units durable) —
+        the cost is a smaller batch, counted as a ``commit_stall``.
+        Returns True when a group was actually closed.
+        """
+        if self._coordinator.pending_units == 0:
+            return False
+        self._db.storage.stats.commit_stalls += 1
+        self._close_group()
+        return True
+
+    def _restore_unit_locks(self, name: str, taken: LockedPages) -> None:
+        if not self._db.storage.supports_concurrency:
+            return
+        for page_id in taken.new:
+            self._db.storage.unlock_page(name, page_id)
+        for page_id in taken.upgraded:
+            self._db.storage.downgrade_page(name, page_id)
+
+    def _release_query_locks(self, name: str, taken: LockedPages) -> None:
+        # Shared grants never upgrade; give back only what this unit
+        # newly took — pages held by the session's group-pending update
+        # units stay locked until the group closes.
+        if not self._db.storage.supports_concurrency:
+            return
+        for page_id in taken.new:
+            self._db.storage.unlock_page(name, page_id)
+
+
+def _as_int(value: object) -> int:
+    if isinstance(value, bool) or not isinstance(value, (int, float, str)):
+        raise ProtocolError(f"expected an integer, got {value!r}")
+    try:
+        return int(value)
+    except ValueError as exc:
+        raise ProtocolError(f"expected an integer, got {value!r}") from exc
+
+
+def _as_iterable(value: object) -> Iterable[object]:
+    if not isinstance(value, (list, tuple)):
+        raise ProtocolError(f"expected a list, got {value!r}")
+    return value
+
+
+class ServiceRunner:
+    """Socket front-end: one reader thread per connection, one core.
+
+    The runner listens on ``host:port`` (port 0 picks a free port),
+    decodes each connection's requests and applies them to the shared
+    :class:`LabFlowService`.  Application errors travel back as typed
+    error responses; only a dead connection ends its thread.
+    """
+
+    def __init__(
+        self, service: LabFlowService, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self._service = service
+        self._host = host
+        self._port = port
+        self._listener: socket.socket | None = None
+        self._threads: list[threading.Thread] = []
+        self._channels: set[Channel] = set()
+        self._channel_lock = threading.Lock()
+        self._closing = False
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._listener is None:
+            raise ServerError("server is not running")
+        addr = self._listener.getsockname()
+        return str(addr[0]), int(addr[1])
+
+    def start(self) -> tuple[str, int]:
+        """Bind, listen and start accepting; returns the bound address."""
+        if self._listener is not None:
+            raise ServerError("server already started")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self._host, self._port))
+        listener.listen()
+        self._listener = listener
+        acceptor = threading.Thread(
+            target=self._accept_loop, name="labflow-accept", daemon=True
+        )
+        acceptor.start()
+        self._threads.append(acceptor)
+        return self.address
+
+    def stop(self) -> None:
+        """Stop accepting, close connections, drain the service."""
+        self._closing = True
+        if self._listener is not None:
+            try:
+                # shutdown() wakes the thread blocked in accept();
+                # close() alone leaves it sleeping until a connection.
+                self._listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        with self._channel_lock:
+            channels = list(self._channels)
+        for channel in channels:
+            channel.close()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        self._threads.clear()
+        self._listener = None
+        self._service.shutdown()
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._closing:
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed: shutting down
+            channel = Channel(conn)
+            with self._channel_lock:
+                self._channels.add(channel)
+            worker = threading.Thread(
+                target=self._serve_connection,
+                args=(channel,),
+                name="labflow-conn",
+                daemon=True,
+            )
+            worker.start()
+            self._threads.append(worker)
+
+    def _serve_connection(self, channel: Channel) -> None:
+        try:
+            while not self._closing:
+                try:
+                    request = channel.recv_request()
+                except ProtocolError as exc:
+                    channel.send_response(_error_response(exc))
+                    return
+                except OSError:
+                    return
+                if request is None:
+                    return  # clean EOF
+                try:
+                    channel.send_response(self._handle(request))
+                except OSError:
+                    return
+                if request.op == "bye":
+                    return
+        finally:
+            with self._channel_lock:
+                self._channels.discard(channel)
+            channel.close()
+
+    def _handle(self, request: Request) -> Response:
+        try:
+            return Response(ok=True, value=apply_request(self._service, request))
+        except ReproError as exc:
+            return _error_response(exc)
+
+
+def apply_request(service: LabFlowService, request: Request) -> object:
+    """Apply one protocol request to a service (sockets or in-process).
+
+    The session-management and admin operations live here so the socket
+    runner and :class:`~repro.server.client_runner.LocalClient` dispatch
+    identically; everything else is a unit of work for ``submit``.
+    """
+    op = request.op
+    if op == "ping" or op == "bye":
+        return "pong"
+    if op == "open_session":
+        service.open_session(request.session)
+        return None
+    if op == "close_session":
+        service.close_session(
+            request.session, failed=bool(request.args.get("failed"))
+        )
+        return None
+    if op == "drain":
+        return service.drain()
+    if op == "stats":
+        return service.stats_snapshot()
+    if op == "verify":
+        service.drain()
+        report = service.db.verify_storage()
+        return {"ok": report.ok, "problems": list(report.problems)}
+    return service.submit(request.session, op, request.args)
+
+
+def _error_response(exc: ReproError) -> Response:
+    return Response(ok=False, error=str(exc), error_type=type(exc).__name__)

@@ -201,6 +201,14 @@ class StorageManager(abc.ABC):
 
     # -- transactions -----------------------------------------------------------
 
+    #: Set by subclasses between begin() and commit()/abort().
+    _in_txn: bool = False
+
+    @property
+    def in_transaction(self) -> bool:
+        """Whether an explicit transaction is open (no nesting)."""
+        return self._in_txn
+
     @abc.abstractmethod
     def begin(self) -> None:
         """Start a transaction (no nesting)."""

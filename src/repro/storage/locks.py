@@ -10,7 +10,19 @@ conflicts detected, whereas the Texas store refuses a second client.
 
 The simulation is single-process, so conflicting requests do not block —
 they raise :class:`~repro.errors.LockError` and bump the ``lock_waits``
-counter (a blocked 1996 client would have waited here).
+counter (a blocked 1996 client would have waited here).  The served
+layer (``repro.server``) turns that raise back into the queued-wait +
+bounded-retry discipline a real page server offers.
+
+Every grant is reported as a :class:`LockGrant`, because a multi-page
+acquisition that fails partway must undo exactly what it changed:
+
+* a :attr:`~LockGrant.NEW` grant is undone by *releasing* the page;
+* an :attr:`~LockGrant.UPGRADED` grant (SHARED promoted to EXCLUSIVE)
+  is undone by *downgrading* back to SHARED — releasing it would drop a
+  lock the client held before the failed call, and keeping it EXCLUSIVE
+  would wrongly refuse other readers for the life of the session;
+* a :attr:`~LockGrant.HELD` no-op needs no undo at all.
 """
 
 from __future__ import annotations
@@ -25,6 +37,14 @@ from repro.storage.stats import StorageStats
 class LockMode(Enum):
     SHARED = "S"
     EXCLUSIVE = "X"
+
+
+class LockGrant(Enum):
+    """What :meth:`LockManager.acquire` actually changed."""
+
+    NEW = "new"            # the client did not hold the page before
+    UPGRADED = "upgraded"  # SHARED promoted to EXCLUSIVE
+    HELD = "held"          # no-op: already held in this mode (or stronger)
 
 
 @dataclass
@@ -48,31 +68,52 @@ class LockManager:
         self._client_pages: dict[str, set[int]] = {}
         self._stats = stats or StorageStats()
 
-    def acquire(self, client: str, page_id: int, mode: LockMode) -> bool:
+    def acquire(self, client: str, page_id: int, mode: LockMode) -> LockGrant:
         """Grant a lock or raise :class:`LockError` on conflict.
 
-        Re-acquiring a held lock is a no-op; shared -> exclusive upgrade
-        is granted when no other client holds the page.  Returns True
-        when the client did not hold the page before this call (so the
-        caller knows which locks to give back if a multi-page
-        acquisition fails partway), False for re-acquires and upgrades.
+        Re-acquiring a held lock is a no-op (:attr:`LockGrant.HELD`);
+        shared -> exclusive upgrade is granted when no other client
+        holds the page (:attr:`LockGrant.UPGRADED`).  The grant kind
+        tells a multi-page caller how to back out on partial failure:
+        release NEW pages, downgrade UPGRADED ones.
+
+        The conflict path mutates nothing but ``lock_waits`` — retrying
+        the same request must not double-count ``lock_acquisitions`` or
+        disturb :meth:`holders`.
         """
-        lock = self._locks.setdefault(page_id, _PageLock())
-        held = lock.holders.get(client)
+        lock = self._locks.get(page_id)
+        held = lock.holders.get(client) if lock is not None else None
         if held is mode or (held is LockMode.EXCLUSIVE and mode is LockMode.SHARED):
-            return False
-        if not lock.compatible(client, mode):
+            return LockGrant.HELD
+        if lock is not None and not lock.compatible(client, mode):
             self._stats.lock_waits += 1
-            if not lock.holders:
-                del self._locks[page_id]
             raise LockError(
                 f"client {client!r} cannot lock page {page_id} in mode "
                 f"{mode.value}: held by {sorted(h for h in lock.holders if h != client)}"
             )
+        if lock is None:
+            lock = self._locks[page_id] = _PageLock()
         lock.holders[client] = mode
-        self._client_pages.setdefault(client, set()).add(page_id)
-        self._stats.lock_acquisitions += 1
-        return held is None
+        if held is None:
+            self._client_pages.setdefault(client, set()).add(page_id)
+            self._stats.lock_acquisitions += 1
+            return LockGrant.NEW
+        self._stats.lock_upgrades += 1
+        return LockGrant.UPGRADED
+
+    def downgrade(self, client: str, page_id: int) -> bool:
+        """Demote an EXCLUSIVE hold back to SHARED.
+
+        The undo for an :attr:`LockGrant.UPGRADED` grant when a
+        multi-page acquisition fails partway.  Returns True if the
+        client held the page EXCLUSIVE; a SHARED hold (or no hold) is
+        left untouched.
+        """
+        lock = self._locks.get(page_id)
+        if lock is None or lock.holders.get(client) is not LockMode.EXCLUSIVE:
+            return False
+        lock.holders[client] = LockMode.SHARED
+        return True
 
     def release(self, client: str, page_id: int) -> bool:
         """Release one page lock; returns True if the client held it."""

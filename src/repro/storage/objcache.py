@@ -47,6 +47,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Iterator
 
+from repro.errors import TransactionError
+
 if TYPE_CHECKING:
     from repro.storage.base import StorageManager
     from repro.storage.stats import StorageStats
@@ -106,6 +108,15 @@ class ObjectCache:
     @property
     def dirty_objects(self) -> int:
         return len(self._dirty)
+
+    def dirty_oid_set(self) -> frozenset[int]:
+        """The oids with buffered (dirty) entries.
+
+        Sessions diff this around an operation to attribute the dirty
+        entries the operation created, so a departing client's claims
+        can be drained or invalidated precisely.
+        """
+        return frozenset(self._dirty)
 
     @property
     def in_transaction(self) -> bool:
@@ -187,6 +198,42 @@ class ObjectCache:
 
     def abort(self) -> None:
         self._sm.abort()
+
+    # -- unit-of-work hooks (the served, group-commit path) ------------------
+    #
+    # A server session's unit of work buffers its writes exactly like a
+    # storage transaction does, but *without* opening one: the storage
+    # manager's undo journal is process-wide and cannot unwind one
+    # session out of an interleaved group.  Instead each unit drains at
+    # its own end (preserving the per-unit SM write sequence, oid
+    # order), and only the page flush / sync / checkpoint is deferred
+    # to the group-commit close.
+
+    def begin_unit(self) -> None:
+        """Enter buffering mode for one session's unit of work."""
+        if self._in_txn:
+            raise TransactionError("a unit of work is already buffering")
+        self._in_txn = True
+
+    def end_unit(self) -> int:
+        """Drain the unit's writes (oid order) and leave buffering mode.
+
+        Returns the number of objects written to the storage manager.
+        """
+        written = self.flush()
+        self._in_txn = False
+        return written
+
+    def discard_unit(self) -> int:
+        """Drop a failed unit's buffered writes and leave buffering mode.
+
+        Returns the number of writes discarded.  Nothing reaches the
+        storage manager — the unit never happened.
+        """
+        dropped = len(self._dirty)
+        self._dirty.clear()
+        self._in_txn = False
+        return dropped
 
     # -- cache maintenance ---------------------------------------------------
 

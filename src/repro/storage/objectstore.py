@@ -24,7 +24,7 @@ from repro.storage.base import PagedStorageManager
 if TYPE_CHECKING:
     from repro.storage.faultinject import FaultInjector
 from repro.storage.buffer import DEFAULT_POOL_PAGES, DEFAULT_READAHEAD_PAGES
-from repro.storage.locks import LockManager, LockMode
+from repro.storage.locks import LockGrant, LockManager, LockMode
 from repro.storage.page import exact_charge
 
 
@@ -69,11 +69,12 @@ class ObjectStoreSM(PagedStorageManager):
         self._clients.discard(client)
         self._lock_manager.release_all(client)
 
-    def lock_page(self, client: str, page_id: int, exclusive: bool = False) -> bool:
+    def lock_page(self, client: str, page_id: int, exclusive: bool = False) -> LockGrant:
         """Acquire a page lock on behalf of an attached client.
 
-        Returns True when the lock is newly acquired (see
-        :meth:`LockManager.acquire`).
+        Returns the :class:`LockGrant` kind (NEW / UPGRADED / HELD), so
+        a multi-page caller knows how to back each page out if the
+        acquisition fails partway.
         """
         self._check_open()
         if client not in self._clients:
@@ -85,6 +86,11 @@ class ObjectStoreSM(PagedStorageManager):
         """Release one page lock (backing out a failed multi-page grab)."""
         self._check_open()
         return self._lock_manager.release(client, page_id)
+
+    def downgrade_page(self, client: str, page_id: int) -> bool:
+        """Demote an EXCLUSIVE hold to SHARED (backing out an upgrade)."""
+        self._check_open()
+        return self._lock_manager.downgrade(client, page_id)
 
     def unlock_all(self, client: str) -> int:
         """Release a client's locks (transaction end)."""

@@ -27,6 +27,7 @@ class StorageStats:
     swizzle_operations: int = 0  # Texas: pointer slots swizzled at fault time
     lock_acquisitions: int = 0   # ObjectStore: page-lock grants
     lock_waits: int = 0          # ObjectStore: lock conflicts observed
+    lock_upgrades: int = 0       # ObjectStore: SHARED -> EXCLUSIVE promotions
     commits: int = 0
     aborts: int = 0
     cache_hits: int = 0          # object-cache: reads served in memory
@@ -37,6 +38,9 @@ class StorageStats:
     prefetch_hits: int = 0       # read-ahead: faults absorbed by staged pages
     io_batches: int = 0          # vectored disk transfers (>= 2 pages each)
     meta_bytes_written: int = 0  # checkpoint blob bytes physically written
+    group_commits: int = 0       # server: storage commits closing a group
+    sessions_per_group: int = 0  # server: session-units fused into those groups
+    commit_stalls: int = 0       # server: groups forced closed by a lock conflict
 
     def reset(self) -> None:
         """Zero every counter (used between benchmark intervals)."""

@@ -254,3 +254,23 @@ def test_lint_rule_subset(capsys):
     )
     assert main(["lint", fixture, "--rules", "LF06"]) == 0
     capsys.readouterr()
+
+
+def test_serve_smoke_in_memory(capsys):
+    assert main(["serve", "--smoke", "3", "--units", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "serving <in-memory> on 127.0.0.1:" in out
+    assert "creates: 12" in out  # 3 clients x 4 mix materials
+    assert "verify: OK" in out
+
+
+def test_serve_smoke_persists_database(tmp_path, capsys):
+    db_path = str(tmp_path / "served.pages")
+    assert main([
+        "serve", db_path, "--smoke", "2", "--units", "6", "--group-cap", "4",
+    ]) == 0
+    capsys.readouterr()
+    assert os.path.exists(db_path)
+    assert main(["verify", db_path]) == 0
+    out = capsys.readouterr().out
+    assert "OK" in out

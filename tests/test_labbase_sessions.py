@@ -6,6 +6,7 @@ from repro.errors import ConcurrencyUnsupportedError, LabBaseError, LockError
 from repro.labbase import LabBase, LabClock
 from repro.labbase.sessions import SessionManager
 from repro.storage import ObjectStoreSM, OStoreMM, TexasSM
+from repro.storage.locks import LockMode
 
 
 def _lab(sm):
@@ -157,6 +158,74 @@ def test_failed_multi_lock_releases_only_newly_acquired():
     assert "s2" in db.storage.lock_manager.holders(
         db.storage._entry(b)[0]
     )
+
+
+def test_failed_upgrade_downgrades_back_to_shared():
+    """Regression (the lock-upgrade rollback leak): a session reading
+    material A holds its page SHARED; its record_step on [A, B] upgrades
+    A's page to EXCLUSIVE, then conflicts on B (held by another writer)
+    and rolls back.  The upgrade used to be invisible to the rollback
+    (acquire returned False for it), so A's page stayed EXCLUSIVE and a
+    third client was wrongly refused SHARED access for the life of the
+    process.  The rollback must downgrade A back to SHARED — not keep
+    EXCLUSIVE, and not drop the pre-held SHARED lock either."""
+    db, clock, _oid = _lab(ObjectStoreSM())
+    a, b = _two_materials_on_distinct_pages(db, clock)
+    manager = SessionManager(db)
+    s1 = manager.open_session("s1")
+    s2 = manager.open_session("s2")
+    reader = manager.open_session("reader")
+
+    s1.lock_material(a)                      # SHARED on a's page
+    s2.lock_material(b, exclusive=True)      # the conflict source
+    page_a = db.storage.pages_of(a)[0]
+    with pytest.raises(LockError):
+        s1.record_step("s", clock.tick(), [a, b], {"a": 1})
+    # the failed call's upgrade was undone: s1 is back to SHARED
+    assert db.storage.lock_manager.holders(page_a)["s1"] is LockMode.SHARED
+    # so another reader is admitted (the pre-fix leak refused this)
+    reader.lock_material(a)
+    # and s1 still holds what it held before the failed call
+    assert page_a in db.storage.lock_manager.held_pages("s1")
+
+
+def test_exception_close_invalidates_buffered_writes():
+    """A session dying mid-unit-of-work must not strand locks or dirty
+    cache state: its buffered writes are dropped, its locks released."""
+    db, clock, oid = _lab(ObjectStoreSM())
+    # Pre-create the target state's set so the doomed unit below only
+    # *writes* existing records (allocation is eager and out of scope).
+    db.set_state(oid, "busy", clock.tick())
+    db.set_state(oid, "active", clock.tick())
+    manager = SessionManager(db)
+    survivor = manager.open_session("survivor")
+    db.begin()  # unit-of-work buffering: writes stay in the object cache
+    with pytest.raises(RuntimeError):
+        with manager.open_session("doomed") as doomed:
+            doomed.set_state(oid, "busy", clock.tick())
+            assert db.cache.dirty_objects > 0
+            raise RuntimeError("client died mid-unit")
+    # the dying session's buffered write was invalidated, not drained
+    assert db.cache.dirty_objects == 0
+    # and its locks are gone: a writer proceeds immediately
+    survivor.set_state(oid, "done", clock.tick())
+    survivor.release_locks()
+    db.commit()
+    assert db.material(oid)["state"] == "done"
+
+
+def test_clean_close_drains_buffered_writes():
+    """A clean close mid-transaction hands the session's dirty cache
+    entries to the storage manager instead of stranding them."""
+    db, clock, oid = _lab(ObjectStoreSM())
+    manager = SessionManager(db)
+    db.begin()
+    with manager.open_session("worker") as worker:
+        worker.set_state(oid, "busy", clock.tick())
+        assert db.cache.dirty_objects > 0
+    assert db.cache.dirty_objects == 0  # drained by the close, not stranded
+    db.commit()
+    assert db.material(oid)["state"] == "busy"
 
 
 def test_record_step_preserves_caller_involves_order():

@@ -1,0 +1,421 @@
+"""Tests for the served session layer (repro.server).
+
+Covers the protocol codecs, the commit coordinator, the service core's
+unit-of-work / lock / retry semantics, the socket round trip with four
+concurrent clients, and the A6 acceptance property: four sessions
+through group commit cost strictly less I/O per committed step than the
+same work committed one unit at a time.
+"""
+
+import os
+
+import pytest
+
+from repro.errors import (
+    DuplicateKeyError,
+    LabBaseError,
+    LockError,
+    ProtocolError,
+    SchemaError,
+    ServerError,
+    SessionError,
+    TransactionError,
+)
+from repro.labbase import LabBase
+from repro.server import (
+    ClientRunner,
+    CommitCoordinator,
+    LabFlowService,
+    LocalClient,
+    Request,
+    Response,
+    ServiceClient,
+    ServiceRunner,
+    bootstrap_schema,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+    run_concurrent_clients,
+)
+from repro.storage import ObjectStoreSM, TexasSM
+
+
+def _served_db(tmp_path=None, **sm_kwargs):
+    path = None if tmp_path is None else os.path.join(str(tmp_path), "db.pages")
+    sm = ObjectStoreSM(path=path, **sm_kwargs)
+    db = LabBase(sm)
+    bootstrap_schema(db)
+    return db
+
+
+# -- communicator ----------------------------------------------------------
+
+
+def test_request_roundtrip():
+    request = Request(op="record_step", session="alice", args={"involves": [3]})
+    assert decode_request(encode_request(request)) == request
+
+
+def test_response_roundtrip():
+    response = Response(ok=False, error="nope", error_type="LockError")
+    assert decode_response(encode_response(response)) == response
+
+
+def test_decode_rejects_garbage():
+    with pytest.raises(ProtocolError):
+        decode_request(b"not json\n")
+    with pytest.raises(ProtocolError):
+        decode_request(b'{"session": "x"}\n')  # no op
+    with pytest.raises(ProtocolError):
+        decode_request(b'{"op": "q", "args": [1]}\n')  # args not an object
+    with pytest.raises(ProtocolError):
+        decode_response(b'{"value": 1}\n')  # no ok flag
+
+
+def test_encoding_is_deterministic():
+    request = Request(op="q", session="s", args={"b": 1, "a": 2})
+    assert encode_request(request) == encode_request(
+        Request(op="q", session="s", args={"a": 2, "b": 1})
+    )
+
+
+# -- commit coordinator ------------------------------------------------------
+
+
+def test_group_closes_at_cap():
+    db = _served_db()
+    coordinator = CommitCoordinator(db, enabled=True, cap=3)
+    coordinator.note_unit("a")
+    coordinator.note_unit("b")
+    assert not coordinator.should_close()
+    coordinator.note_unit("a")
+    assert coordinator.should_close()
+    assert coordinator.close() == ["a", "b"]
+    stats = db.storage.stats
+    assert stats.group_commits == 1
+    assert stats.sessions_per_group == 2
+    assert stats.commits == 1
+    db.storage.close()
+
+
+def test_disabled_coordinator_closes_every_unit():
+    db = _served_db()
+    coordinator = CommitCoordinator(db, enabled=False, cap=8)
+    coordinator.note_unit("solo")
+    assert coordinator.should_close()
+    assert coordinator.close() == ["solo"]
+    assert coordinator.close() == []  # idempotent when empty
+    assert db.storage.stats.group_commits == 1
+    db.storage.close()
+
+
+# -- service core ------------------------------------------------------------
+
+
+def test_service_refuses_open_transaction():
+    db = _served_db()
+    db.begin()
+    with pytest.raises(TransactionError):
+        LabFlowService(db)
+    db.abort()
+    db.storage.close()
+
+
+def test_session_lifecycle_and_validation():
+    db = _served_db()
+    service = LabFlowService(db)
+    service.open_session("alice")
+    with pytest.raises(LabBaseError):
+        service.open_session("alice")  # duplicate
+    with pytest.raises(SessionError):
+        service.submit("nobody", "state_of", {"material_oid": 1})
+    with pytest.raises(ProtocolError):
+        service.submit("alice", "drop_table", {})
+    service.close_session("alice")
+    service.close_session("alice")  # idempotent
+    service.shutdown()
+    db.storage.close()
+
+
+def test_units_execute_and_group_commits(tmp_path):
+    db = _served_db(tmp_path, checkpoint_every=1)
+    service = LabFlowService(db, group_commit=True, group_cap=2)
+    alice = LocalClient(service, "alice")
+    oid = alice.create_material("clone", "a-0", 1, state="active")
+    assert service._coordinator.pending_units == 1  # not yet durable
+    alice.record_step("measure", 2, [oid], {"value": 7})
+    assert service._coordinator.pending_units == 0  # cap 2 closed the group
+    assert alice.most_recent(oid, "value") == 7
+    assert alice.state_of(oid) == "active"
+    assert alice.lookup("clone", "a-0") == oid
+    assert alice.history_len(oid) == 1
+    assert oid in alice.in_state("active")
+    stats = db.storage.stats
+    assert stats.group_commits == 1
+    assert stats.sessions_per_group == 1
+    alice.close()
+    service.shutdown()
+    db.storage.close()
+
+
+def test_duplicate_create_fails_without_allocating():
+    db = _served_db()
+    service = LabFlowService(db)
+    alice = LocalClient(service, "alice")
+    alice.create_material("clone", "dup", 1)
+    oids_before = sorted(db.storage.oids())
+    with pytest.raises(DuplicateKeyError):
+        alice.create_material("clone", "dup", 2)
+    assert sorted(db.storage.oids()) == oids_before  # pre-check: no orphan
+    service.shutdown()
+    db.storage.close()
+
+
+def test_failed_unit_discards_writes_and_restores_locks():
+    db = _served_db()
+    service = LabFlowService(db)
+    alice = LocalClient(service, "alice")
+    bob = LocalClient(service, "bob")
+    oid = alice.create_material("clone", "a-0", 1, state="active")
+    alice.drain()  # release alice's creation group
+    with pytest.raises(SchemaError):
+        # invalid results attribute: validated before anything is written
+        bob.record_step("measure", 2, [oid], {"no_such_attr": 1})
+    assert db.cache.dirty_objects == 0
+    # the failed unit's locks were restored: alice can write immediately
+    alice.set_state(oid, "busy", 3)
+    service.shutdown()
+    db.storage.close()
+
+
+def test_pending_group_blocks_then_stall_flushes():
+    """Strict 2PL: a group-pending unit's X locks stall a conflicting
+    session; the conflict force-closes the group (a commit_stall) and
+    the retry proceeds."""
+    db = _served_db()
+    service = LabFlowService(db, group_commit=True, group_cap=100)
+    alice = LocalClient(service, "alice")
+    bob = LocalClient(service, "bob")
+    # consecutive creates pack onto the same page: a conflict source
+    a = alice.create_material("clone", "a-0", 1, state="active")
+    b = bob.create_material("clone", "b-0", 2, state="active")
+    service.drain()
+    alice.set_state(a, "busy", 3)  # pending: X lock held until group close
+    stalls_before = db.storage.stats.commit_stalls
+    if set(db.storage.pages_of(a)) & set(db.storage.pages_of(b)):
+        bob.set_state(b, "busy", 4)  # same page: must stall-flush, then win
+        assert db.storage.stats.commit_stalls == stalls_before + 1
+    else:  # distinct pages: contend on the same material directly
+        bob.set_state(a, "busy", 4)
+        assert db.storage.stats.commit_stalls == stalls_before + 1
+    service.shutdown()
+    db.storage.close()
+
+
+def test_retry_budget_exhausts_against_foreign_lock():
+    """A lock held outside any group (a foreign client on the same SM)
+    cannot be flushed away: the bounded retry gives up with LockError."""
+    db = _served_db()
+    service = LabFlowService(db, group_commit=True, retry_backoff=0.0)
+    alice = LocalClient(service, "alice")
+    oid = alice.create_material("clone", "a-0", 1, state="active")
+    alice.drain()
+    sm = db.storage
+    sm.attach_client("outsider")
+    page = sm.pages_of(oid)[0]
+    sm.lock_page("outsider", page, exclusive=True)
+    with pytest.raises(LockError):
+        alice.set_state(oid, "busy", 2)
+    sm.unlock_all("outsider")
+    sm.detach_client("outsider")
+    alice.set_state(oid, "busy", 3)  # free again
+    service.shutdown()
+    sm.close()
+
+
+def test_completed_units_replay_in_completion_order():
+    db = _served_db()
+    service = LabFlowService(db, group_commit=True, group_cap=4)
+    alice = LocalClient(service, "alice")
+    bob = LocalClient(service, "bob")
+    a = alice.create_material("clone", "a-0", 1, state="active")
+    bob.create_material("clone", "b-0", 2, state="busy")
+    alice.record_step("measure", 3, [a], {"value": 5})
+    alice.most_recent(a, "value")  # queries are not replayable state
+    completed = service.completed_units()
+    assert [op for _s, op, _a in completed] == [
+        "create_material", "create_material", "record_step",
+    ]
+    assert completed[0][0] == "alice" and completed[1][0] == "bob"
+    service.shutdown()
+    db.storage.close()
+
+
+def test_close_session_keeps_group_pending_units():
+    """A session dying after completing units does not retract them:
+    they stay in the group and become durable at the next close."""
+    db = _served_db()
+    service = LabFlowService(db, group_commit=True, group_cap=100)
+    alice = LocalClient(service, "alice")
+    oid = alice.create_material("clone", "a-0", 1, state="active")
+    alice.record_step("measure", 2, [oid], {"value": 9})
+    alice.close(failed=True)
+    assert service._coordinator.pending_units == 2
+    service.drain()
+    bob = LocalClient(service, "bob")
+    assert bob.most_recent(oid, "value") == 9
+    assert db.storage.stats.commits == 1
+    service.shutdown()
+    db.storage.close()
+
+
+def test_texas_serves_one_session_only():
+    sm = TexasSM()
+    db = LabBase(sm)
+    bootstrap_schema(db)
+    service = LabFlowService(db)
+    solo = LocalClient(service, "solo")
+    solo.create_material("clone", "only", 1)
+    from repro.errors import ConcurrencyUnsupportedError
+    with pytest.raises(ConcurrencyUnsupportedError):
+        LocalClient(service, "second")
+    service.shutdown()
+    sm.close()
+
+
+# -- the A6 acceptance property ---------------------------------------------
+
+
+def _spread_clients(service, clients, fillers=40):
+    """One material per client, each on its own page (filler-padded)."""
+    tick = 0
+    oids = []
+    for index, client in enumerate(clients):
+        tick += 1
+        oids.append(
+            client.create_material(
+                "clone", f"{client.session}-m", tick, state="active"
+            )
+        )
+        for filler in range(fillers):
+            tick += 1
+            clients[0].create_material("clone", f"fill-{index}-{filler}", tick)
+    sm = service.db.storage
+    pages = [sm.pages_of(oid)[0] for oid in oids]
+    assert len(set(pages)) == len(pages), "expected one page per client"
+    return oids, tick
+
+
+def _commit_cost(tmp_path, label, group, sessions=4, rounds=6):
+    sm = ObjectStoreSM(
+        path=os.path.join(str(tmp_path), f"{label}.pages"), checkpoint_every=1
+    )
+    db = LabBase(sm)
+    bootstrap_schema(db)
+    service = LabFlowService(
+        db, group_commit=group, group_cap=sessions, retry_backoff=0.0
+    )
+    clients = [LocalClient(service, f"c{i}") for i in range(sessions)]
+    oids, tick = _spread_clients(service, clients)
+    service.drain()
+    before = sm.stats.snapshot()
+    units = 0
+    for _round in range(rounds):
+        for client, oid in zip(clients, oids):
+            tick += 1
+            client.record_step("measure", tick, [oid], {"value": "x" * 200})
+            units += 1
+    service.drain()
+    delta = sm.stats.delta(before)
+    stalls = delta["commit_stalls"]
+    service.shutdown()
+    sm.close()
+    return delta, units, stalls
+
+
+def test_group_commit_costs_less_io_per_step(tmp_path):
+    """Acceptance: 4 concurrent sessions through group commit cost
+    strictly fewer io_batches + meta writes per committed step than the
+    same 4 sessions committing one unit at a time."""
+    grouped, units_on, stalls = _commit_cost(tmp_path, "grouped", group=True)
+    sequential, units_off, _ = _commit_cost(tmp_path, "sequential", group=False)
+    assert units_on == units_off and units_on > 0
+    assert stalls == 0  # page-per-client spread: clean full-width groups
+    assert grouped["commits"] < sequential["commits"]
+    assert grouped["sessions_per_group"] / grouped["group_commits"] > 1.0
+
+    grouped_cost = (grouped["io_batches"] + grouped["meta_bytes_written"]) / units_on
+    sequential_cost = (
+        sequential["io_batches"] + sequential["meta_bytes_written"]
+    ) / units_off
+    assert grouped_cost < sequential_cost
+    # both addends move the right way on their own as well
+    assert grouped["meta_bytes_written"] < sequential["meta_bytes_written"]
+    assert grouped["io_batches"] <= sequential["io_batches"]
+
+
+# -- socket layer ------------------------------------------------------------
+
+
+@pytest.fixture
+def served(tmp_path):
+    db = _served_db(tmp_path, checkpoint_every=1)
+    service = LabFlowService(db, group_commit=True, group_cap=4)
+    runner = ServiceRunner(service)
+    host, port = runner.start()
+    yield host, port, service, db
+    runner.stop()
+    db.storage.close()
+
+
+def test_socket_roundtrip(served):
+    host, port, _service, _db = served
+    alice = ServiceClient(host, port, "alice")
+    oid = alice.create_material("clone", "a-0", 1, state="active")
+    alice.record_step("measure", 2, [oid], {"value": 11})
+    assert alice.most_recent(oid, "value") == 11
+    with pytest.raises(DuplicateKeyError):  # typed errors survive the wire
+        alice.create_material("clone", "a-0", 3)
+    stats = alice.stats()
+    assert stats["objects_written"] > 0
+    alice.drain()
+    assert alice.verify_ok()
+    alice.close()
+
+
+def test_four_concurrent_socket_clients(served):
+    host, port, service, db = served
+    summary = run_concurrent_clients(host, port, clients=4, units=16)
+    assert summary["creates"] == 16  # 4 clients x 4 materials
+    assert summary["steps"] + summary["state_sets"] + summary["queries"] > 0
+    assert summary["conflicts"] == 0  # retries absorbed every conflict
+    service.drain()
+    assert db.verify_storage().ok
+    assert service.open_sessions() == []  # every client detached cleanly
+
+
+def test_server_stop_is_clean(tmp_path):
+    db = _served_db(tmp_path)
+    service = LabFlowService(db)
+    runner = ServiceRunner(service)
+    host, port = runner.start()
+    client = ServiceClient(host, port, "c")
+    client.create_material("clone", "x", 1)
+    runner.stop()  # drains and closes remaining sessions
+    assert service.open_sessions() == []
+    with pytest.raises((ServerError, OSError, ProtocolError)):
+        client.create_material("clone", "y", 2)
+    db.storage.close()
+
+
+def test_client_runner_is_deterministic(tmp_path):
+    tallies = []
+    for run in range(2):
+        db = _served_db()
+        service = LabFlowService(db)
+        client = LocalClient(service, "det")
+        tallies.append(ClientRunner(client, seed=42).run(20))
+        service.shutdown()
+        db.storage.close()
+    assert tallies[0] == tallies[1]

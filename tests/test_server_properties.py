@@ -1,0 +1,254 @@
+"""Correctness properties of the served multi-session layer.
+
+Two families:
+
+* **Serializability as bit-identity** — a randomized interleaving of K
+  sessions' units (creates, steps, state transitions, queries, with
+  conflict/retry) must leave the database *bit-for-bit identical* to
+  replaying the same completed units through a single session, one
+  commit per unit.  Group commit defers only page flush / sync /
+  checkpoint; every unit's object writes drain at the unit's own end,
+  in oid order, so grouping must not be observable in the file bytes.
+  Runs for group commit on and off, on every persistent server version
+  that supports concurrency (discovered, not listed).
+
+* **Crash matrix under group commit** — the deterministic served mix is
+  killed at every (strided) write point with the fault injector, then
+  audited with the same trichotomy the storage-level matrix enforces:
+  loud open failure, or verify-clean, or recover-then-verify-clean with
+  every surviving record still deserializable.  A write-point/byte
+  determinism test pins that the served workload is replayable at all.
+
+Set ``CRASH_MATRIX_STRIDE=k`` to test every k-th write point (CI smoke).
+"""
+
+import os
+import tempfile
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro.storage as storage_module
+from repro.errors import InjectedCrashError, StorageError
+from repro.labbase import LabBase
+from repro.server import LabFlowService, LocalClient, bootstrap_schema
+from repro.storage import FaultInjector, ObjectStoreSM
+from repro.storage.base import StorageManager
+
+STATES = ("active", "busy", "done")
+
+
+def _concurrent_persistent_classes():
+    """Every exported persistent SM class that supports concurrency."""
+    found = []
+    for name in dir(storage_module):
+        obj = getattr(storage_module, name)
+        if (
+            isinstance(obj, type)
+            and issubclass(obj, StorageManager)
+            and getattr(obj, "supports_concurrency", False)
+            and getattr(obj, "persistent", False)
+        ):
+            found.append(obj)
+    return sorted(found, key=lambda cls: cls.__name__)
+
+
+CONCURRENT_CLASSES = _concurrent_persistent_classes()
+
+
+def test_discovery_finds_the_page_server():
+    assert ObjectStoreSM in CONCURRENT_CLASSES
+
+
+def _file_bytes(directory):
+    blobs = {}
+    for name in sorted(os.listdir(directory)):
+        with open(os.path.join(directory, name), "rb") as handle:
+            blobs[name] = handle.read()
+    return blobs
+
+
+def _drive_units(service, names, codes):
+    """Deterministic interleaved interpreter over the service.
+
+    Each code picks a session, an operation kind, and a target; every
+    session starts with one seed material, and the pool each session
+    draws targets from includes every session's seed — so interleavings
+    genuinely contend on shared pages and exercise the stall path.
+    """
+    clients = {name: LocalClient(service, name) for name in names}
+    own = {name: [] for name in names}
+    tick = 0
+    for name in names:
+        tick += 1
+        own[name].append(
+            clients[name].create_material(
+                "clone", f"{name}-seed", tick, state="active"
+            )
+        )
+    for code in codes:
+        tick += 1
+        name = names[code % len(names)]
+        client = clients[name]
+        pool = own[name] + [own[other][0] for other in names]
+        target = pool[code % len(pool)]
+        kind = code % 5
+        if kind == 0:
+            own[name].append(
+                client.create_material(
+                    "clone", f"{name}-{tick}", tick, state=STATES[code % 3]
+                )
+            )
+        elif kind == 1:
+            involves = [target]
+            extra = pool[(code // 7) % len(pool)]
+            if extra != target:
+                involves.append(extra)
+            client.record_step("measure", tick, involves, {"value": code})
+        elif kind == 2:
+            client.set_state(target, STATES[code % 3], tick)
+        elif kind == 3:
+            client.state_of(target)
+        else:
+            client.history_len(target)
+    for name in names:
+        clients[name].close()
+
+
+def _interleaved_run(cls, directory, codes, n_sessions, group):
+    """Run the interleaved mix; returns (completed units, file bytes)."""
+    sm = cls(path=os.path.join(directory, "db.pages"), checkpoint_every=0)
+    db = LabBase(sm)
+    bootstrap_schema(db)
+    service = LabFlowService(
+        db, group_commit=group, group_cap=3, retry_backoff=0.0
+    )
+    _drive_units(service, [f"s{i}" for i in range(n_sessions)], codes)
+    completed = service.completed_units()
+    service.shutdown()
+    assert db.verify_storage().ok
+    sm.close()
+    return completed, _file_bytes(directory)
+
+
+def _serial_replay(cls, directory, completed):
+    """The serial witness: one session, one commit per unit."""
+    sm = cls(path=os.path.join(directory, "db.pages"), checkpoint_every=0)
+    db = LabBase(sm)
+    bootstrap_schema(db)
+    service = LabFlowService(db, group_commit=False)
+    service.open_session("serial")
+    for _session, op, args in completed:
+        service.submit("serial", op, args)
+    service.shutdown()
+    sm.close()
+    return _file_bytes(directory)
+
+
+@pytest.mark.parametrize(
+    "cls", CONCURRENT_CLASSES, ids=lambda cls: cls.__name__
+)
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    codes=st.lists(st.integers(0, 9999), min_size=5, max_size=40),
+    n_sessions=st.integers(min_value=2, max_value=4),
+    group=st.booleans(),
+)
+def test_interleaved_sessions_equal_serial_witness(
+    cls, codes, n_sessions, group
+):
+    with tempfile.TemporaryDirectory() as interleaved_dir:
+        with tempfile.TemporaryDirectory() as serial_dir:
+            completed, interleaved = _interleaved_run(
+                cls, interleaved_dir, codes, n_sessions, group
+            )
+            serial = _serial_replay(cls, serial_dir, completed)
+            assert interleaved == serial
+
+
+# -- crash matrix under group commit -----------------------------------------
+
+_CRASH_CODES = [(index * 137 + 29) % 9001 for index in range(48)]
+_CRASH_SESSIONS = 3
+
+
+def _stride() -> int:
+    return max(1, int(os.environ.get("CRASH_MATRIX_STRIDE", "1")))
+
+
+def _served_crash_workload(path, injector=None):
+    """The deterministic served mix the crash matrix sweeps."""
+    sm = ObjectStoreSM(path=path, checkpoint_every=1, fault_injector=injector)
+    db = LabBase(sm)
+    bootstrap_schema(db)
+    service = LabFlowService(
+        db, group_commit=True, group_cap=3, retry_backoff=0.0
+    )
+    _drive_units(service, [f"s{i}" for i in range(_CRASH_SESSIONS)], _CRASH_CODES)
+    service.shutdown()
+    return sm
+
+
+def test_served_write_points_and_bytes_are_deterministic(tmp_path):
+    """Same mix twice: same write-point count, bit-identical files.
+
+    This is what makes ``crash_after_writes=N`` name the *same* crash on
+    every run — the precondition for the sweep below — and pins that
+    group commit keeps the served workload bit-for-bit stable."""
+    counts = []
+    blobs = []
+    for run in range(2):
+        directory = tmp_path / f"run{run}"
+        directory.mkdir()
+        injector = FaultInjector()
+        sm = _served_crash_workload(str(directory / "db.pages"), injector)
+        counts.append(injector.writes_seen)
+        sm.close()
+        blobs.append(_file_bytes(str(directory)))
+    assert counts[0] == counts[1] > 0
+    assert blobs[0] == blobs[1]
+
+
+def _audit_after_crash(path):
+    """The legal-outcome trichotomy, at the served-workload level."""
+    try:
+        reopened = ObjectStoreSM(path=path)
+    except StorageError:
+        return  # outcome 1: detectably damaged, refuses to open
+    try:
+        report = reopened.verify()
+        if not report.ok:  # outcome 3: damage reported, recovery repairs
+            reopened.recover()
+            reopened.verify().raise_if_bad()
+        # either way: every surviving record must still deserialize
+        for oid in reopened.oids():
+            reopened.read(oid)
+    finally:
+        reopened.close()
+
+
+@pytest.mark.parametrize("torn", [False, True], ids=["clean", "torn"])
+def test_served_group_commit_crash_matrix(tmp_path, torn):
+    count_dir = tmp_path / "count"
+    count_dir.mkdir()
+    injector = FaultInjector()
+    sm = _served_crash_workload(str(count_dir / "db.pages"), injector)
+    total = injector.writes_seen
+    sm.close()
+    assert total > 0
+
+    for crash_at in range(0, total, _stride()):
+        directory = tmp_path / f"crash-{crash_at}"
+        directory.mkdir()
+        path = str(directory / "db.pages")
+        with pytest.raises(InjectedCrashError):
+            _served_crash_workload(
+                path,
+                FaultInjector(crash_after_writes=crash_at, torn_write=torn),
+            )
+        _audit_after_crash(path)

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import ConcurrencyUnsupportedError, LockError
 from repro.storage import ObjectStoreSM, TexasSM
-from repro.storage.locks import LockManager, LockMode
+from repro.storage.locks import LockGrant, LockManager, LockMode
 from repro.storage.stats import StorageStats
 
 
@@ -70,12 +70,43 @@ def test_release_all_frees_pages():
     locks.acquire("b", 1, LockMode.EXCLUSIVE)  # now free
 
 
-def test_acquire_reports_newly_acquired():
+def test_acquire_reports_grant_kind():
     locks = LockManager()
-    assert locks.acquire("a", 1, LockMode.SHARED) is True
-    assert locks.acquire("a", 1, LockMode.SHARED) is False      # re-acquire
-    assert locks.acquire("a", 1, LockMode.EXCLUSIVE) is False   # upgrade
-    assert locks.acquire("a", 2, LockMode.EXCLUSIVE) is True
+    assert locks.acquire("a", 1, LockMode.SHARED) is LockGrant.NEW
+    assert locks.acquire("a", 1, LockMode.SHARED) is LockGrant.HELD
+    assert locks.acquire("a", 1, LockMode.EXCLUSIVE) is LockGrant.UPGRADED
+    assert locks.acquire("a", 1, LockMode.EXCLUSIVE) is LockGrant.HELD
+    assert locks.acquire("a", 2, LockMode.EXCLUSIVE) is LockGrant.NEW
+
+
+def test_upgrade_counts_as_upgrade_not_acquisition():
+    stats = StorageStats()
+    locks = LockManager(stats)
+    locks.acquire("a", 1, LockMode.SHARED)
+    locks.acquire("a", 1, LockMode.EXCLUSIVE)
+    assert stats.lock_acquisitions == 1
+    assert stats.lock_upgrades == 1
+
+
+def test_downgrade_restores_shared_mode():
+    locks = LockManager()
+    locks.acquire("a", 1, LockMode.SHARED)
+    locks.acquire("a", 1, LockMode.EXCLUSIVE)
+    assert locks.downgrade("a", 1) is True
+    assert locks.holders(1)["a"] is LockMode.SHARED
+    assert locks.held_pages("a") == {1}          # still held, just weaker
+    locks.acquire("b", 1, LockMode.SHARED)       # readers admitted again
+    assert locks.downgrade("a", 1) is False      # already SHARED: no-op
+    assert locks.downgrade("b", 99) is False     # never held: no-op
+
+
+def test_downgraded_page_releases_normally():
+    locks = LockManager()
+    locks.acquire("a", 1, LockMode.SHARED)
+    locks.acquire("a", 1, LockMode.EXCLUSIVE)
+    locks.downgrade("a", 1)
+    assert locks.release_all("a") == 1
+    locks.acquire("b", 1, LockMode.EXCLUSIVE)    # fully free again
 
 
 def test_release_single_page():
@@ -104,6 +135,38 @@ def test_conflict_bumps_wait_counter():
     with pytest.raises(LockError):
         locks.acquire("b", 1, LockMode.EXCLUSIVE)
     assert stats.lock_waits == 1
+
+
+def test_retries_do_not_double_count_acquisitions():
+    """The conflict path must mutate nothing but lock_waits: a client
+    retrying the same request N times leaves holders() and the
+    acquisition/upgrade counters exactly as they were."""
+    stats = StorageStats()
+    locks = LockManager(stats)
+    locks.acquire("a", 1, LockMode.EXCLUSIVE)
+    before = locks.holders(1)
+    for attempt in range(1, 4):
+        with pytest.raises(LockError):
+            locks.acquire("b", 1, LockMode.SHARED)
+        assert stats.lock_waits == attempt
+    assert locks.holders(1) == before
+    assert stats.lock_acquisitions == 1
+    assert stats.lock_upgrades == 0
+    assert locks.held_pages("b") == set()
+
+
+def test_failed_upgrade_mutates_nothing():
+    """A refused SHARED -> EXCLUSIVE upgrade leaves the SHARED hold (and
+    all counters but lock_waits) untouched."""
+    stats = StorageStats()
+    locks = LockManager(stats)
+    locks.acquire("a", 1, LockMode.SHARED)
+    locks.acquire("b", 1, LockMode.SHARED)
+    with pytest.raises(LockError):
+        locks.acquire("a", 1, LockMode.EXCLUSIVE)
+    assert locks.holders(1) == {"a": LockMode.SHARED, "b": LockMode.SHARED}
+    assert stats.lock_acquisitions == 2
+    assert stats.lock_upgrades == 0
 
 
 # -- the usability difference the paper reports ---------------------------
