@@ -67,7 +67,7 @@ def test_a1_emit_table(benchmark, ablation):
         title="A1: most-recent index ablation (full LabFlow-1 stream)",
         align_right=(1, 2),
     )
-    emit("a1_most_recent_index", text)
+    emit("a1_most_recent_index", text, payload=ablation)
     # the index must win the query side decisively
     assert ablation["off"]["q2_reads"] > ablation["on"]["q2_reads"] * 2
 

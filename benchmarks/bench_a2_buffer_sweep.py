@@ -70,7 +70,10 @@ def test_a2_emit_sweep_table(benchmark, sweep):
         title="A2: cold-cache hot-query faults vs buffer-pool size",
         align_right=(0, 1, 2),
     )
-    emit("a2_buffer_sweep", text)
+    emit("a2_buffer_sweep", text, payload={
+        server: {str(pool): sweep[(server, pool)] for pool in _POOL_SIZES}
+        for server in _SERVERS
+    })
 
     # monotone: more memory, fewer or equal faults
     for server in _SERVERS:

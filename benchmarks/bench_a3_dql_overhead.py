@@ -45,11 +45,15 @@ def test_a3_emit_overhead_table(benchmark, warm):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     db, workload = warm
     rows = []
+    payload: dict[str, dict[str, float]] = {}
     for op in ("Q1", "Q2", "Q3", "Q5"):
         api_runner = QueryRunner(db, workload.registry, DeterministicRng(1), "api")
         dql_runner = QueryRunner(db, workload.registry, DeterministicRng(1), "dql")
         api_us = _measure(api_runner, op)
         dql_us = _measure(dql_runner, op)
+        payload[op] = {
+            "api_us": api_us, "dql_us": dql_us, "overhead": dql_us / api_us
+        }
         rows.append([op, f"{api_us:.0f}", f"{dql_us:.0f}", f"{dql_us / api_us:.1f}x"])
     text = format_table(
         ["query", "API (us)", "DQL (us)", "interpreter cost"],
@@ -57,7 +61,7 @@ def test_a3_emit_overhead_table(benchmark, warm):
         title="A3: deductive-language overhead (same answers, same store)",
         align_right=(1, 2, 3),
     )
-    emit("a3_dql_overhead", text)
+    emit("a3_dql_overhead", text, payload=payload)
 
 
 @pytest.mark.parametrize("path", ["api", "dql"])

@@ -13,8 +13,6 @@ the two runs differ only in speed (see test_objcache_equivalence.py).
 from __future__ import annotations
 
 import itertools
-import json
-import os
 import time
 
 import pytest
@@ -26,7 +24,7 @@ from repro.storage import DEFAULT_CACHE_OBJECTS, ObjectStoreSM
 from repro.util.fmt import format_table
 from repro.util.rng import DeterministicRng
 
-from _common import RESULTS_DIR, emit
+from _common import emit
 
 _CONFIG = BenchmarkConfig(clones_per_interval=10, intervals=(0.5, 1.0))
 _WARMUP_ROUNDS = 20
@@ -108,9 +106,7 @@ def test_a4_emit_table(benchmark, ablation):
         title="A4: object cache ablation (warm E8 operation mix)",
         align_right=(1, 2),
     )
-    emit("a4_object_cache", text)
-    with open(os.path.join(RESULTS_DIR, "a4_object_cache.json"), "w") as fh:
-        json.dump({"on": on, "off": off, "speedup": speedup}, fh, indent=2)
+    emit("a4_object_cache", text, payload={"on": on, "off": off, "speedup": speedup})
 
     # the warm mix must be decisively cheaper with the cache
     assert speedup >= _SPEEDUP_FLOOR, (

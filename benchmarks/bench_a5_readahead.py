@@ -18,7 +18,6 @@ the fault absorption.
 
 from __future__ import annotations
 
-import json
 import os
 import tempfile
 import time
@@ -35,7 +34,7 @@ from repro.storage import (
 )
 from repro.util.fmt import format_table
 
-from _common import RESULTS_DIR, emit
+from _common import emit
 
 _CONFIG = BenchmarkConfig(clones_per_interval=12, intervals=(0.5, 1.0))
 
@@ -83,6 +82,7 @@ def _run(cls, window: int) -> dict:
         "scan_ms": elapsed * 1e3,
         "steps_seen": steps_seen,
         "major_faults": scan["major_faults"],
+        "buffer_hits": scan["buffer_hits"],
         "prefetch_hits": scan["prefetch_hits"],
         "pages_prefetched": scan["pages_prefetched"],
         "io_batches": scan["io_batches"],
@@ -145,11 +145,11 @@ def test_a5_emit_table(benchmark, ablation):
         title="A5: bulk load commit path (vectored writes)",
         align_right=(1, 2, 3, 4),
     )
-    emit("a5_readahead", scan_text + "\n\n" + load_text)
-    with open(os.path.join(RESULTS_DIR, "a5_readahead.json"), "w") as fh:
-        json.dump(
-            {"servers": ablation, "fault_ratios": fault_ratios}, fh, indent=2
-        )
+    emit(
+        "a5_readahead",
+        scan_text + "\n\n" + load_text,
+        payload={"servers": ablation, "fault_ratios": fault_ratios},
+    )
 
     # ≥2x fault absorption on at least one persistent server version —
     # asserted on majflt (deterministic) rather than wall clock.

@@ -17,7 +17,6 @@ per committed step than the sequential per-unit baseline.
 
 from __future__ import annotations
 
-import json
 import os
 import tempfile
 import time
@@ -29,7 +28,7 @@ from repro.server import LabFlowService, LocalClient, bootstrap_schema
 from repro.storage import ObjectStoreSM
 from repro.util.fmt import format_table
 
-from _common import RESULTS_DIR, emit
+from _common import emit
 
 _SESSION_COUNTS = (1, 2, 4, 8)
 _ROUNDS = 24
@@ -154,13 +153,11 @@ def test_a6_emit_table(benchmark, sweep):
         title="A6: group commit across concurrent sessions (E8-style mix)",
         align_right=(2, 3, 4, 5, 6, 7, 8),
     )
-    emit("a6_group_commit", text)
     payload = {
         f"s{sessions}_{'on' if group else 'off'}": run
         for (sessions, group), run in sweep.items()
     }
-    with open(os.path.join(RESULTS_DIR, "a6_group_commit.json"), "w") as fh:
-        json.dump(payload, fh, indent=2)
+    emit("a6_group_commit", text, payload=payload)
 
     # The acceptance floor: at 4 concurrent sessions, group commit must
     # cost strictly less I/O per committed step than per-unit commits.

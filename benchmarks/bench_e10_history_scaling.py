@@ -74,7 +74,12 @@ def test_e10_emit_scaling_series(benchmark):
     for length, value in zip(_HISTORY_LENGTHS, indexed_series):
         bar = "*" * max(1, int(40 * value / peak))
         plot_lines.append(f"  {length:>4} | {bar}")
-    emit("e10_history_scaling", text + "\n" + "\n".join(plot_lines))
+    emit("e10_history_scaling", text + "\n" + "\n".join(plot_lines), payload={
+        str(length): {"indexed_ms": indexed_ms, "scan_ms": scan_ms}
+        for length, indexed_ms, scan_ms in zip(
+            _HISTORY_LENGTHS, indexed_series, scan_series
+        )
+    })
 
     # shape: scan grows superlinearly vs index across the sweep
     assert scan_series[-1] > scan_series[0] * 8

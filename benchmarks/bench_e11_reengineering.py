@@ -71,7 +71,13 @@ def test_e11_emit_reengineering_report(benchmark, lab):
         format_table(["management metric", "value"], summary_rows,
                      title="Re-engineering summary"),
     ])
-    emit("e11_reengineering", text)
+    emit("e11_reengineering", text, payload={
+        "rework_rate": rework.rework_rate,
+        "max_runs_on_one_material": rework.max_runs_on_one_material,
+        "cycle_time": {name: value for name, value in cycle.items()},
+        "quality": {name: value for name, value in quality.items()},
+        "funnel": {name: count for name, count in funnel},
+    })
 
     counts = [count for _name, count in funnel]
     assert counts[0] == _CONFIG.total_clones()

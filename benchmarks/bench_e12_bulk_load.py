@@ -66,9 +66,14 @@ def _measure(load, count) -> tuple[float, int]:
 def test_e12_emit_build_table(benchmark):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     rows = []
+    payload: dict[str, dict[str, object]] = {}
     for count in _SCALES:
         api_sec, api_writes = _measure(_load_api, count)
         bulk_sec, bulk_writes = _measure(_load_bulk, count)
+        payload[str(count)] = {
+            "api_ms": api_sec * 1000, "api_writes": api_writes,
+            "bulk_ms": bulk_sec * 1000, "bulk_writes": bulk_writes,
+        }
         rows.append([
             f"{count} clones x 2 steps",
             f"{api_sec * 1000:.1f}", f"{api_writes:,}",
@@ -82,7 +87,7 @@ def test_e12_emit_build_table(benchmark):
         title="E12: database build phase, per-op API vs bulk loader",
         align_right=(1, 2, 3, 4, 5),
     )
-    emit("e12_bulk_load", text)
+    emit("e12_bulk_load", text, payload=payload)
 
 
 @pytest.mark.parametrize("path,load", [("api", _load_api), ("bulk", _load_bulk)],

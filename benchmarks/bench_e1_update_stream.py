@@ -65,7 +65,10 @@ def test_e1_full_table(benchmark, tmp_path):
             "Reproduction claims:\n" + render_checks(checks),
         ]
     )
-    emit("e1_update_stream", text)
+    emit("e1_update_stream", text, payload={
+        run.server: {"counters": run.final_stats, "gauges": run.final_gauges}
+        for run in comparison.runs
+    })
     assert not failed_checks(checks), render_checks(failed_checks(checks))
 
     # shape assertions from the attested row

@@ -50,7 +50,9 @@ def test_e2_table_1_and_record_sizes(benchmark):
         ["storage class", "typical record size"], rows, align_right=(1,),
         title="Representative serialized record sizes",
     )
-    emit("e2_storage_schema", text)
+    emit("e2_storage_schema", text, payload={
+        name: record_size(record) for name, record in records.items()
+    })
     sm.close()
 
 

@@ -27,7 +27,7 @@ def test_e3_emit_eer_figure(benchmark):
         align_right=(1,),
         title="Schema statistics",
     )
-    emit("e3_schema_figure", text + "\n\n" + table)
+    emit("e3_schema_figure", text + "\n\n" + table, payload=dict(stats))
     assert stats["material_classes"] == 3
     assert stats["step_classes"] == 9
 

@@ -30,7 +30,9 @@ def test_e4_emit_graph_figure(benchmark):
     text = graph.to_text() + "\n\n" + format_table(
         ["property", "value"], stats_rows, title="Graph properties",
     )
-    emit("e4_workflow_graph", text)
+    emit("e4_workflow_graph", text, payload={
+        str(name): value for name, value in stats_rows
+    })
     assert graph.has_cycles()
 
 

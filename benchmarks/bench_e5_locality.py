@@ -108,7 +108,12 @@ def test_e5_emit_locality_table(benchmark, fault_profile):
         align_right=(1, 2, 3),
     )
     text += "\n\n" + fault_profile["layouts"]
-    emit("e5_locality", text)
+    emit("e5_locality", text, payload={
+        server: {
+            phase: fault_profile[(server, phase)] for phase in ("hot", "cold")
+        }
+        for server in _SERVERS
+    })
 
     # the headline: clustering wins the hot phase decisively
     assert ostore_hot < texas_hot, fault_profile

@@ -69,7 +69,14 @@ def test_e6_emit_size_table(benchmark, sizes):
         title=f"E6: database size after the 0.5X load (page size {PAGE_SIZE} B)",
         align_right=(1, 2, 3, 4, 5),
     )
-    emit("e6_db_size", text)
+    emit("e6_db_size", text, payload={
+        server: {
+            "size_bytes": sizes[server][0],
+            "pages": sizes[server][1],
+            "payload_bytes": sizes[server][2],
+        }
+        for server in _SERVERS
+    })
 
     for server in ("Texas", "Texas+TC"):
         ratio = sizes[server][0] / ostore_size

@@ -63,7 +63,18 @@ def test_e7_emit_contrast_table(benchmark, contrast):
         title="E7: graph-driven stream vs single-kind TPC stream",
         align_right=(1, 2),
     )
-    emit("e7_tpc_contrast", text)
+    emit("e7_tpc_contrast", text, payload={
+        "labflow": dict(labflow_stats),
+        "debit_credit": {
+            "transactions": tpc_result.transactions,
+            "material_classes_used": tpc_result.material_classes_used,
+            "step_classes_used": tpc_result.step_classes_used,
+            "query_kinds_used": tpc_result.query_kinds_used,
+            "states_used": tpc_result.states_used,
+            "mean_history_length": tpc_result.mean_history_length,
+            "max_history_length": tpc_result.max_history_length,
+        },
+    })
 
     assert labflow_stats["material_classes_used"] >= 3
     assert tpc_result.material_classes_used == 1

@@ -115,9 +115,11 @@ def test_e8_q7_history_scan(benchmark, warm):
 
 def test_e8_emit_note(benchmark, warm):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    db, _workload, _runner = warm
     emit("e8_operation_mix",
          "E8 per-operation latencies are in the pytest-benchmark table\n"
          "(test_e8_u* are updates U1-U4; test_e8_q* are queries Q1-Q7).\n"
          "Expected profile: U1/U2 dominated by record+index writes; Q1-Q3\n"
          "near-constant (hash bucket / hot index / set read); Q6 ~ cohort\n"
-         "size x Q2; Q7 linear in history length.")
+         "size x Q2; Q7 linear in history length.",
+         payload={"counters": db.storage.stats.snapshot()})

@@ -61,11 +61,19 @@ def _eager_migration(db: LabBase) -> tuple[float, int]:
 def test_e9_emit_evolution_table(benchmark):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     rows = []
+    payload: dict[str, dict[str, object]] = {}
     for clones in _SCALES:
         db = _populated(clones)
         steps = sum(db.catalog.step_counts.values())
         evolve_ms, evolve_writes = _evolve(db)
         migrate_ms, migrate_writes = _eager_migration(db)
+        payload[str(clones)] = {
+            "steps": steps,
+            "evolve_ms": evolve_ms,
+            "evolve_writes": evolve_writes,
+            "migrate_ms": migrate_ms,
+            "migrate_writes": migrate_writes,
+        }
         rows.append([
             f"{clones} clones / {steps} steps",
             f"{evolve_ms:.2f}",
@@ -82,7 +90,7 @@ def test_e9_emit_evolution_table(benchmark):
         title="E9: attribute-set versioning vs eager migration",
         align_right=(1, 2, 3, 4),
     )
-    emit("e9_schema_evolution", text)
+    emit("e9_schema_evolution", text, payload=payload)
 
 
 @pytest.mark.parametrize("clones", _SCALES)

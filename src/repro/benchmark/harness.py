@@ -15,6 +15,7 @@ from repro.benchmark.config import SERVER_ORDER, BenchmarkConfig
 from repro.benchmark.servers import ServerSpec, all_servers, make_db
 from repro.benchmark.workload import IntervalTally, LabFlowWorkload
 from repro.labbase.database import LabBase
+from repro.obs.registry import gauges_from
 from repro.util.timing import ResourceMeter, ResourceUsage
 
 
@@ -35,6 +36,7 @@ class RunResult:
     server: str
     intervals: list[IntervalResult] = field(default_factory=list)
     final_stats: dict[str, int] = field(default_factory=dict)
+    final_gauges: dict[str, float] = field(default_factory=dict)
 
     def total_usage(self) -> ResourceUsage:
         total = ResourceUsage(0.0, 0.0, 0.0, 0, 0)
@@ -99,6 +101,7 @@ def run_server(
         )
         before = sm.stats.snapshot()
     result.final_stats = sm.stats.snapshot()
+    result.final_gauges = gauges_from(result.final_stats)
 
     if keep_db:
         return result, db

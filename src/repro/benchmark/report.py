@@ -89,14 +89,28 @@ def render_stats(
         "cache_coalesced",
         "cache_evictions",
     ),
+    derived: tuple[str, ...] = ("hit_ratio", "cache_hit_ratio", "group_width"),
 ) -> str:
-    """Storage-counter totals per server (the locality evidence)."""
+    """Storage-counter totals per server (the locality evidence).
+
+    Raw counters first, then the ``derived`` ratios from the metric
+    registry (:func:`repro.obs.registry.gauges_from`) — reports stop at
+    raw numbers only when a ratio would mislead (per-interval tables),
+    not here, where the whole-run ratios are the headline.
+    """
+    from repro.obs.registry import gauges_from
+
     headers = ["Counter"] + [run.server for run in comparison.runs]
-    rows = []
+    rows: list[list[str]] = []
     for counter in counters:
         rows.append(
             [counter]
             + [f"{run.final_stats.get(counter, 0):,}" for run in comparison.runs]
+        )
+    gauge_columns = [gauges_from(run.final_stats) for run in comparison.runs]
+    for name in derived:
+        rows.append(
+            [name] + [f"{gauges[name]:.3f}" for gauges in gauge_columns]
         )
     return format_table(
         headers,

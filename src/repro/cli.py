@@ -9,7 +9,10 @@
     python -m repro demo [--clones N]
     python -m repro query DBFILE "state(M, S)."
     python -m repro shell DBFILE
-    python -m repro serve [DBFILE] [--port P] [--smoke N]
+    python -m repro serve [DBFILE] [--port P] [--smoke N] [--trace FILE]
+    python -m repro monitor --port P [--samples N] [--interval SEC]
+    python -m repro bench record [--schemas A4 A5 A6]
+    python -m repro bench compare --baseline BENCH_A4.json ... [--tolerance T]
     python -m repro verify DBFILE [--server OStore]
     python -m repro recover DBFILE [--server OStore]
     python -m repro lint [PATHS] [--format json]
@@ -17,7 +20,10 @@
 ``compare`` regenerates the paper's Section 10 table; ``graph`` and
 ``eer`` emit the Appendix B and Figure 1 artefacts; ``query``/``shell``
 run the deductive language against a persisted database file;
-``verify``/``recover`` check and repair a database file after a crash.
+``verify``/``recover`` check and repair a database file after a crash;
+``monitor`` attaches to a running ``serve`` and streams interval
+samples; ``bench record``/``bench compare`` maintain the committed
+``BENCH_*.json`` baselines and gate regressions against them.
 """
 
 from __future__ import annotations
@@ -317,6 +323,9 @@ def cmd_lint(args) -> int:
 
 
 def cmd_serve(args) -> int:
+    import threading
+
+    from repro.obs import IntervalSampler, UnitTracer, gauges_from
     from repro.server import (
         LabFlowService,
         ServiceRunner,
@@ -324,13 +333,33 @@ def cmd_serve(args) -> int:
         run_concurrent_clients,
     )
     from repro.storage import ObjectStoreSM
+    from repro.storage.report import stats_report
 
     sm = ObjectStoreSM(path=args.db, checkpoint_every=args.checkpoint_every)
     db = LabBase(sm)
     bootstrap_schema(db)
+    trace_sink = open(args.trace, "w") if args.trace else None
+    tracer = UnitTracer(sink=trace_sink) if trace_sink else None
     service = LabFlowService(
-        db, group_commit=not args.no_group_commit, group_cap=args.group_cap
+        db,
+        group_commit=not args.no_group_commit,
+        group_cap=args.group_cap,
+        tracer=tracer,
     )
+    sample_sink = open(args.sample_log, "w") if args.sample_log else None
+    stop_sampling = threading.Event()
+    sampler_thread: threading.Thread | None = None
+    if sample_sink:
+        sampler = IntervalSampler(service.stats_snapshot, sink=sample_sink)
+
+        def sampling_loop() -> None:
+            while not stop_sampling.wait(args.sample_interval):
+                sampler.sample()
+
+        sampler_thread = threading.Thread(
+            target=sampling_loop, name="labflow-sampler", daemon=True
+        )
+        sampler_thread.start()
     runner = ServiceRunner(service, host=args.host, port=args.port)
     host, port = runner.start()
     print(f"serving {args.db or '<in-memory>'} on {host}:{port} "
@@ -344,9 +373,9 @@ def cmd_serve(args) -> int:
             for name in sorted(summary):
                 print(f"  {name}: {summary[name]}")
             stats = service.stats_snapshot()
-            print(f"  group_commits: {stats['group_commits']}  "
-                  f"sessions_per_group: {stats['sessions_per_group']}  "
-                  f"commit_stalls: {stats['commit_stalls']}")
+            print(stats_report(
+                stats, gauges_from(stats), title="smoke-run storage counters"
+            ))
             service.drain()
             report = db.verify_storage()
             if not report.ok:
@@ -357,14 +386,87 @@ def cmd_serve(args) -> int:
             print("verify: OK")
             return 0
         try:
-            import threading
             threading.Event().wait()
         except KeyboardInterrupt:
             print("shutting down")
         return 0
     finally:
         runner.stop()
+        stop_sampling.set()
+        if sampler_thread is not None:
+            sampler_thread.join(timeout=5.0)
+        if sample_sink:
+            sample_sink.close()
+        if trace_sink:
+            trace_sink.close()
         sm.close()
+
+
+def cmd_monitor(args) -> int:
+    from repro.errors import ReproError
+    from repro.obs.monitor import monitor
+
+    try:
+        monitor(
+            args.host,
+            args.port,
+            samples=args.samples,
+            interval=args.interval,
+            out=sys.stdout,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from repro.obs import baseline as bl
+    from repro.obs.render import render_drift_table
+
+    if args.bench_command == "record":
+        for schema in args.schemas:
+            try:
+                path = bl.record(schema, args.results, args.out)
+            except FileNotFoundError as exc:
+                print(f"error: {schema}: missing bench result: {exc}",
+                      file=sys.stderr)
+                return 2
+            print(f"recorded {path}")
+        return 0
+
+    # compare
+    all_drifts: list[bl.Drift] = []
+    all_notes: list[str] = []
+    compared: list[str] = []
+    for baseline_file in args.baseline:
+        try:
+            drifts, notes = bl.compare_files(
+                baseline_file, args.results, tolerance=args.tolerance
+            )
+        except (FileNotFoundError, ValueError) as exc:
+            print(f"error: {baseline_file}: {exc}", file=sys.stderr)
+            return 2
+        compared.append(baseline_file)
+        all_drifts.extend(drifts)
+        all_notes.extend(notes)
+    print(render_drift_table(
+        [d.as_dict() for d in all_drifts],
+        title=(f"bench compare: {len(compared)} baseline(s), "
+               f"tolerance {args.tolerance:g}"),
+    ))
+    for note in all_notes:
+        print(f"  note: {note}")
+    if args.report:
+        bl.dump_json(args.report, {
+            "baselines": compared,
+            "tolerance": args.tolerance,
+            "drifts": [d.as_dict() for d in all_drifts],
+            "notes": all_notes,
+            "ok": not all_drifts,
+        })
+        print(f"report written to {args.report}")
+    return 1 if all_drifts else 0
 
 
 def cmd_query(args) -> int:
@@ -490,7 +592,52 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run N scripted concurrent clients, verify, and exit")
     p.add_argument("--units", type=int, default=24,
                    help="units per smoke client (default 24)")
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="write unit-of-work span events here (JSONL)")
+    p.add_argument("--sample-log", default=None, metavar="FILE",
+                   help="write interval counter samples here (JSONL)")
+    p.add_argument("--sample-interval", type=float, default=1.0,
+                   help="seconds between interval samples (default 1.0)")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("monitor",
+                       help="attach to a running serve and stream live samples")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, required=True,
+                   help="port of the running 'repro serve'")
+    p.add_argument("--samples", type=int, default=10,
+                   help="observations to take before detaching (default 10)")
+    p.add_argument("--interval", type=float, default=1.0,
+                   help="seconds between polls (default 1.0)")
+    p.set_defaults(func=cmd_monitor)
+
+    p = sub.add_parser("bench",
+                       help="record / compare the committed BENCH_*.json baselines")
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+    bp = bench_sub.add_parser(
+        "record", help="canonicalize fresh bench results into baseline files"
+    )
+    bp.add_argument("--results", default="benchmarks/results",
+                    help="bench results directory (default benchmarks/results)")
+    bp.add_argument("--out", default=".",
+                    help="where the BENCH_*.json files go (default: repo root)")
+    bp.add_argument("--schemas", nargs="*", default=["A4", "A5", "A6"],
+                    choices=["A4", "A5", "A6"],
+                    help="baseline schemas to record (default: all)")
+    bp.set_defaults(func=cmd_bench)
+    bp = bench_sub.add_parser(
+        "compare", help="diff fresh bench results against committed baselines"
+    )
+    bp.add_argument("--baseline", nargs="+", required=True, metavar="FILE",
+                    help="committed BENCH_*.json files to compare against")
+    bp.add_argument("--results", default="benchmarks/results",
+                    help="fresh bench results directory")
+    bp.add_argument("--tolerance", type=float, default=0.10,
+                    help="relative counter tolerance (default 0.10); gauges "
+                         "use their per-metric absolute tolerances")
+    bp.add_argument("--report", default=None, metavar="FILE",
+                    help="write the comparison report as JSON here")
+    bp.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("query", help="run one deductive query on a database")
     p.add_argument("db", help="database file (ObjectStoreSM format)")

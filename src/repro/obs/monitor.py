@@ -1,0 +1,104 @@
+"""``repro monitor``: attach to a running server and watch it work.
+
+The monitor opens a plain protocol channel to a live ``repro serve``,
+polls the ``sample`` operation on an interval, turns successive counter
+snapshots into interval :class:`~repro.obs.sampler.Sample` rows and
+streams them as a live table (fixed column widths, so rows printed a
+minute apart still line up under the original header).  On detach it
+prints the server's per-phase unit histograms when tracing is enabled
+over there.
+
+This module intentionally lives outside ``repro.obs.__init__``'s
+import surface: it imports the server package, which itself imports
+``repro.obs.tracing`` — importing it eagerly would be a cycle.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import IO, Callable
+
+from repro.errors import ProtocolError, ServerError
+from repro.obs.clock import Clock, system_clock
+from repro.obs.render import render_phase_histograms, render_sample_table
+from repro.obs.sampler import Sample, sample_from_snapshots
+from repro.server.communicator import Channel, Request
+
+
+def fetch_sample(channel: Channel) -> dict[str, object]:
+    """One ``sample`` round trip; raises on error responses."""
+    response = channel.roundtrip(Request(op="sample"))
+    if not response.ok:
+        raise ServerError(f"sample failed: {response.error}")
+    if not isinstance(response.value, dict):
+        raise ProtocolError("sample response is not an object")
+    return response.value
+
+
+def monitor(
+    host: str,
+    port: int,
+    *,
+    samples: int,
+    interval: float,
+    out: IO[str],
+    clock: Clock = system_clock,
+    sleep: Callable[[float], None] = time.sleep,
+) -> list[Sample]:
+    """Attach, poll ``samples`` observations, stream the table to ``out``.
+
+    Returns the collected samples (tests read them; the CLI reads the
+    rendered text).  ``clock`` and ``sleep`` are injectable so the
+    deterministic tests replay a poll schedule without wall time.
+    """
+    try:
+        sock = socket.create_connection((host, port), timeout=10.0)
+    except OSError as exc:
+        raise ServerError(f"cannot reach {host}:{port}: {exc}") from exc
+    channel = Channel(sock)
+    collected: list[Sample] = []
+    header_lines = render_sample_table([]).splitlines()
+    out.write(f"monitoring {host}:{port} (interval {interval:g}s)\n")
+    for line in header_lines:
+        out.write(line + "\n")
+    out.flush()
+    trace_summary: dict[str, object] | None = None
+    try:
+        previous: dict[str, int] | None = None
+        last_t: float | None = None
+        for _poll in range(samples):
+            payload = fetch_sample(channel)
+            raw = payload.get("counters")
+            if not isinstance(raw, dict):
+                raise ProtocolError("sample payload has no counters")
+            counters = {str(k): int(v) for k, v in raw.items()}  # type: ignore[call-overload]
+            t = clock()
+            dt = 0.0 if last_t is None else t - last_t
+            observation = sample_from_snapshots(
+                len(collected), t, dt, counters, previous
+            )
+            collected.append(observation)
+            previous = observation.counters
+            last_t = t
+            out.write(render_sample_table([observation]).splitlines()[-1] + "\n")
+            out.flush()
+            trace = payload.get("trace")
+            if isinstance(trace, dict):
+                trace_summary = trace
+            if _poll + 1 < samples and interval > 0.0:
+                sleep(interval)
+    finally:
+        channel.close()
+    if trace_summary is not None:
+        histograms = trace_summary.get("histograms")
+        if isinstance(histograms, dict):
+            out.write(
+                "\n"
+                + render_phase_histograms(
+                    histograms, title="unit phase durations (server-side)"
+                )
+                + "\n"
+            )
+            out.flush()
+    return collected

@@ -1,0 +1,132 @@
+"""The metric registry: every derived gauge the system reports.
+
+A *gauge* is a ratio derived from :class:`~repro.storage.stats.StorageStats`
+counters: numerator over the sum of one or more denominator counters,
+with a declared default for the empty-denominator case.  Registering a
+gauge here is a contract enforced by lint rule LF07 (mirroring what
+LF05 does for raw counters): the gauge's name must appear in **exactly
+one** render path (a function in :mod:`repro.obs.render`) and **exactly
+one** baseline schema (an entry in
+:data:`repro.obs.baseline.BASELINE_SCHEMAS`), and its source counters
+must be declared ``StorageStats`` fields.  A gauge that is computed but
+never rendered, rendered twice, or recorded under two baselines is a
+lint failure, not a code-review hope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.storage.stats import STAT_FIELDS
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One registered gauge: ``numerator / sum(denominator)``."""
+
+    name: str
+    description: str
+    render: str          # the repro.obs.render function that shows it
+    baseline: str        # the BASELINE_SCHEMAS key that records it
+    numerator: str       # a StorageStats counter
+    denominator: tuple[str, ...]  # StorageStats counters, summed
+    default: float = 0.0  # value when the denominator sums to zero
+
+    def compute(self, counters: Mapping[str, int]) -> float:
+        denom = sum(int(counters.get(name, 0)) for name in self.denominator)
+        if denom == 0:
+            return self.default
+        return int(counters.get(self.numerator, 0)) / denom
+
+
+#: Every derived gauge, in render order.  LF07 walks these call sites.
+DERIVED_METRICS: tuple[MetricSpec, ...] = (
+    MetricSpec(
+        name="hit_ratio",
+        description="buffer-pool hits over page accesses",
+        render="render_sample_table",
+        baseline="A5",
+        numerator="buffer_hits",
+        denominator=("buffer_hits", "major_faults"),
+        default=1.0,
+    ),
+    MetricSpec(
+        name="prefetch_absorption",
+        description="faults absorbed by read-ahead over all staged-or-missed",
+        render="render_sample_table",
+        baseline="A5",
+        numerator="prefetch_hits",
+        denominator=("prefetch_hits", "major_faults"),
+        default=0.0,
+    ),
+    MetricSpec(
+        name="cache_hit_ratio",
+        description="object-cache reads served in memory",
+        render="render_sample_table",
+        baseline="A4",
+        numerator="cache_hits",
+        denominator=("cache_hits", "cache_misses"),
+        default=1.0,
+    ),
+    MetricSpec(
+        name="coalesce_ratio",
+        description="object writes absorbed pre-commit by the cache",
+        render="render_sample_table",
+        baseline="A4",
+        numerator="cache_coalesced",
+        denominator=("cache_coalesced", "objects_written"),
+        default=0.0,
+    ),
+    MetricSpec(
+        name="group_width",
+        description="mean session-units fused per group commit",
+        render="render_sample_table",
+        baseline="A6",
+        numerator="sessions_per_group",
+        denominator=("group_commits",),
+        default=0.0,
+    ),
+    MetricSpec(
+        name="commit_stall_ratio",
+        description="groups forced closed by lock conflicts, per group",
+        render="render_sample_table",
+        baseline="A6",
+        numerator="commit_stalls",
+        denominator=("group_commits",),
+        default=0.0,
+    ),
+)
+
+METRIC_NAMES: tuple[str, ...] = tuple(spec.name for spec in DERIVED_METRICS)
+
+
+def metric(name: str) -> MetricSpec:
+    """Look up a registered gauge by name."""
+    for spec in DERIVED_METRICS:
+        if spec.name == name:
+            return spec
+    raise KeyError(f"no registered metric {name!r}")
+
+
+def gauges_from(counters: Mapping[str, int]) -> dict[str, float]:
+    """All registered gauges computed from one counter snapshot."""
+    return {spec.name: spec.compute(counters) for spec in DERIVED_METRICS}
+
+
+def _validate_registry() -> None:
+    declared = set(STAT_FIELDS)
+    seen: set[str] = set()
+    for spec in DERIVED_METRICS:
+        if spec.name in seen:
+            raise ValueError(f"duplicate metric registration {spec.name!r}")
+        seen.add(spec.name)
+        for counter in (spec.numerator, *spec.denominator):
+            if counter not in declared:
+                raise ValueError(
+                    f"metric {spec.name!r} reads undeclared counter "
+                    f"{counter!r}"
+                )
+
+
+_validate_registry()

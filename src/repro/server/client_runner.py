@@ -155,6 +155,13 @@ class _ClientOps:
             raise ProtocolError(f"stats returned {type(value).__name__}")
         return {str(name): _expect_int(count) for name, count in value.items()}
 
+    def sample(self) -> dict[str, object]:
+        """One observability poll: counters, gauges, service state."""
+        value = self.call("sample")
+        if not isinstance(value, dict):
+            raise ProtocolError(f"sample returned {type(value).__name__}")
+        return {str(name): payload for name, payload in value.items()}
+
     def verify_ok(self) -> bool:
         value = self.call("verify")
         if not isinstance(value, dict):
@@ -191,10 +198,10 @@ class ServiceClient(_ClientOps):
         if self._closed:
             raise ServerError(f"client {self.session!r} is closed")
         request = Request(op=op, session=self.session, args=dict(args))
-        self._channel.send_request(request)
-        response = self._channel.recv_response()
-        if response is None:
-            raise ServerError("server closed the connection")
+        try:
+            response = self._channel.roundtrip(request)
+        except ProtocolError as exc:
+            raise ServerError(str(exc)) from exc
         if response.ok:
             return response.value
         raise _revive_error(response.error_type, response.error)

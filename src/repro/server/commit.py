@@ -29,6 +29,7 @@ Counters (all rendered by the benchmark reports):
 from __future__ import annotations
 
 from repro.labbase.database import LabBase
+from repro.obs.tracing import UnitTracer
 
 #: Default number of update units that closes a group.
 DEFAULT_GROUP_CAP = 8
@@ -38,13 +39,19 @@ class CommitCoordinator:
     """Batches completed session units into one storage commit."""
 
     def __init__(
-        self, db: LabBase, *, enabled: bool = True, cap: int = DEFAULT_GROUP_CAP
+        self,
+        db: LabBase,
+        *,
+        enabled: bool = True,
+        cap: int = DEFAULT_GROUP_CAP,
+        tracer: UnitTracer | None = None,
     ) -> None:
         if cap < 1:
             raise ValueError("group-commit cap must be >= 1")
         self._db = db
         self.enabled = enabled
         self.cap = cap
+        self._tracer = tracer
         self._pending: list[str] = []
 
     @property
@@ -80,4 +87,6 @@ class CommitCoordinator:
         stats = self._db.storage.stats
         stats.group_commits += 1
         stats.sessions_per_group += len(participants)
+        if self._tracer is not None:
+            self._tracer.group_flush(width=len(participants), units=len(pending))
         return participants

@@ -129,6 +129,18 @@ class Channel:
         line = self._read_line()
         return None if line is None else decode_response(line)
 
+    def roundtrip(self, request: Request) -> Response:
+        """One request, one response — the client-side exchange.
+
+        A clean EOF here is an error, not an end: the client asked a
+        question and the peer hung up instead of answering.
+        """
+        self.send_request(request)
+        response = self.recv_response()
+        if response is None:
+            raise ProtocolError("server closed the connection mid-exchange")
+        return response
+
     def _read_line(self) -> bytes | None:
         line = self._reader.readline(MAX_MESSAGE_BYTES + 1)
         if not line:

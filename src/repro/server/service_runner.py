@@ -51,6 +51,8 @@ from repro.errors import (
 )
 from repro.labbase.database import LabBase
 from repro.labbase.sessions import LockedPages, SessionManager
+from repro.obs.registry import gauges_from
+from repro.obs.tracing import UnitTracer
 from repro.server.commit import DEFAULT_GROUP_CAP, CommitCoordinator
 from repro.server.communicator import Channel, Request, Response
 
@@ -80,6 +82,7 @@ class LabFlowService:
         group_cap: int = DEFAULT_GROUP_CAP,
         max_retries: int = DEFAULT_MAX_RETRIES,
         retry_backoff: float = DEFAULT_RETRY_BACKOFF,
+        tracer: UnitTracer | None = None,
     ) -> None:
         if db.storage.in_transaction:
             raise TransactionError(
@@ -88,8 +91,9 @@ class LabFlowService:
             )
         self._db = db
         self._sessions = SessionManager(db)
+        self._tracer = tracer
         self._coordinator = CommitCoordinator(
-            db, enabled=group_commit, cap=group_cap
+            db, enabled=group_commit, cap=group_cap, tracer=tracer
         )
         self._max_retries = max(0, max_retries)
         self._retry_backoff = max(0.0, retry_backoff)
@@ -121,9 +125,31 @@ class LabFlowService:
         with self._mutex:
             return [(s, op, dict(args)) for s, op, args in self._completed]
 
+    @property
+    def tracer(self) -> UnitTracer | None:
+        return self._tracer
+
     def stats_snapshot(self) -> dict[str, int]:
         with self._mutex:
             return self._db.storage.stats.snapshot()
+
+    def sample(self) -> dict[str, object]:
+        """One observability poll: counters, gauges and service state.
+
+        This is what the ``sample`` protocol op and the server's own
+        interval sampler read; everything in it is JSON-safe.
+        """
+        with self._mutex:
+            counters = self._db.storage.stats.snapshot()
+            payload: dict[str, object] = {
+                "counters": counters,
+                "gauges": gauges_from(counters),
+                "pending_units": self._coordinator.pending_units,
+                "open_sessions": len(self._sessions.open_sessions()),
+            }
+            if self._tracer is not None:
+                payload["trace"] = self._tracer.summary()
+            return payload
 
     # -- session lifecycle ---------------------------------------------------
 
@@ -169,6 +195,8 @@ class LabFlowService:
                     return self._run_unit(name, op, call_args)
                 except LockError:
                     attempts += 1
+                    if self._tracer is not None:
+                        self._tracer.lock_wait(name, op, attempt=attempts)
                     stalled = self._flush_conflicting_group()
                     if attempts > self._max_retries:
                         raise
@@ -194,16 +222,27 @@ class LabFlowService:
 
     def _run_unit(self, name: str, op: str, args: dict[str, object]) -> object:
         cache = self._db.cache
+        tracer = self._tracer
+        # Every tracer touch (including clock reads) is guarded: with no
+        # tracer attached this method is byte-for-byte the PR 6 path —
+        # the sampling-on/off equivalence property depends on that.
+        t_begin = tracer.now() if tracer is not None else 0.0
+        if tracer is not None:
+            tracer.unit_begin(name, op)
         taken = self._acquire(name, op, args)
+        t_locked = tracer.now() if tracer is not None else 0.0
         cache.begin_unit()
         try:
             value = self._execute(name, op, args)
-        except ReproError:
+        except ReproError as exc:
             # The unit never happened: drop its buffered writes and put
             # its locks back the way the acquisition found them.
             cache.discard_unit()
             self._restore_unit_locks(name, taken)
+            if tracer is not None:
+                tracer.abort(name, op, error_type=type(exc).__name__)
             raise
+        t_executed = tracer.now() if tracer is not None else 0.0
         cache.end_unit()
         if op in _UPDATE_OPS:
             self._completed.append((name, op, dict(args)))
@@ -212,6 +251,14 @@ class LabFlowService:
                 self._close_group()
         else:
             self._release_query_locks(name, taken)
+        if tracer is not None:
+            tracer.unit_end(
+                name,
+                op,
+                lock_seconds=t_locked - t_begin,
+                exec_seconds=t_executed - t_locked,
+                drain_seconds=tracer.now() - t_executed,
+            )
         return value
 
     def _acquire(self, name: str, op: str, args: dict[str, object]) -> LockedPages:
@@ -472,6 +519,8 @@ def apply_request(service: LabFlowService, request: Request) -> object:
         return service.drain()
     if op == "stats":
         return service.stats_snapshot()
+    if op == "sample":
+        return service.sample()
     if op == "verify":
         service.drain()
         report = service.db.verify_storage()

@@ -79,3 +79,28 @@ def segment_report(sm: PagedStorageManager, title: str | None = None) -> str:
         title=title or f"Segment layout of {sm.name}",
         align_right=(1, 2, 3, 4),
     )
+
+
+def stats_report(
+    counters: dict[str, int],
+    gauges: dict[str, float],
+    title: str | None = None,
+) -> str:
+    """Counters plus derived gauges, one compact table.
+
+    Data-driven on purpose: the gauge *names* come from the caller
+    (usually :func:`repro.obs.registry.gauges_from`), so this renderer
+    never hard-codes a registered metric — the one-render-path rule
+    (LF07) points at :mod:`repro.obs.render`, not here.  Zero counters
+    are elided; gauges always show.
+    """
+    rows: list[list[object]] = [
+        [name, str(count)] for name, count in counters.items() if count
+    ]
+    rows.extend([name, f"{value:.3f}"] for name, value in gauges.items())
+    return format_table(
+        ["metric", "value"],
+        rows,
+        title=title or "storage counters",
+        align_right=(1,),
+    )

@@ -74,6 +74,36 @@ class StorageStats:
             return 1.0
         return self.cache_hits / accesses
 
+    @property
+    def prefetch_absorption(self) -> float:
+        """Faults absorbed by read-ahead, over absorbed + still-missed."""
+        staged_or_missed = self.prefetch_hits + self.major_faults
+        if staged_or_missed == 0:
+            return 0.0
+        return self.prefetch_hits / staged_or_missed
+
+    @property
+    def coalesce_ratio(self) -> float:
+        """Object writes absorbed pre-commit, over absorbed + drained."""
+        writes = self.cache_coalesced + self.objects_written
+        if writes == 0:
+            return 0.0
+        return self.cache_coalesced / writes
+
+    @property
+    def group_width(self) -> float:
+        """Mean session-units fused per group commit; 0.0 unserved."""
+        if self.group_commits == 0:
+            return 0.0
+        return self.sessions_per_group / self.group_commits
+
+    @property
+    def commit_stall_ratio(self) -> float:
+        """Groups forced closed by a lock conflict, per group commit."""
+        if self.group_commits == 0:
+            return 0.0
+        return self.commit_stalls / self.group_commits
+
 
 # Field list is part of the public contract: tests assert that no counter
 # is silently dropped when the harness renders extended reports.

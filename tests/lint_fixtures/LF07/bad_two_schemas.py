@@ -1,0 +1,13 @@
+# module: repro.obs.badtwoschemas
+"""A gauge recorded under two baseline schemas at once."""
+
+from repro.obs.registry import MetricSpec
+
+DUP = MetricSpec(
+    name="dup_gauge",
+    description="owned by nobody because it is owned by two schemas",
+    render="render_sample_table",
+    baseline="A6",
+    numerator="group_commits",
+    denominator=("group_commits",),
+)

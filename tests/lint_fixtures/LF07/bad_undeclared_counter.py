@@ -1,0 +1,13 @@
+# module: repro.obs.badcounter
+"""A gauge computed from a counter StorageStats never declared."""
+
+from repro.obs.registry import MetricSpec
+
+RAW = MetricSpec(
+    name="raw_gauge",
+    description="reads a phantom counter",
+    render="render_sample_table",
+    baseline="A6",
+    numerator="phantom_reads",
+    denominator=("group_commits",),
+)

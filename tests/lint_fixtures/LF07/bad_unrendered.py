@@ -1,0 +1,13 @@
+# module: repro.obs.badunrendered
+"""A gauge registered but missing from its declared render path."""
+
+from repro.obs.registry import MetricSpec
+
+GHOST = MetricSpec(
+    name="ghost_gauge",
+    description="computed but never shown to anyone",
+    render="render_sample_table",
+    baseline="A5",
+    numerator="buffer_hits",
+    denominator=("major_faults",),
+)

@@ -1,0 +1,24 @@
+# module: repro.obs.goodregistry
+"""Two well-formed registrations: rendered once, one schema each."""
+
+from repro.obs.registry import MetricSpec
+
+DERIVED_METRICS = (
+    MetricSpec(
+        name="hit_ratio",
+        description="buffer-pool hits over page accesses",
+        render="render_sample_table",
+        baseline="A5",
+        numerator="buffer_hits",
+        denominator=("buffer_hits", "major_faults"),
+        default=1.0,
+    ),
+    MetricSpec(
+        name="group_width",
+        description="mean session-units fused per group commit",
+        render="render_sample_table",
+        baseline="A6",
+        numerator="sessions_per_group",
+        denominator=("group_commits",),
+    ),
+)

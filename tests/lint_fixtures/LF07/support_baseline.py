@@ -1,0 +1,8 @@
+# module: repro.obs.baseline
+"""Fixture baseline module: the schema dict LF07 cross-checks."""
+
+BASELINE_SCHEMAS = {
+    "A5": ("hit_ratio", "ghost_gauge"),
+    "A6": ("group_width", "dup_gauge", "raw_gauge"),
+    "A4": ("dup_gauge",),
+}

@@ -1,0 +1,16 @@
+# module: repro.obs.render
+"""Fixture render module: one function hosts every well-placed gauge."""
+
+
+def render_sample_table(samples):
+    columns = (
+        ("hit_ratio", 10),
+        ("group_width", 11),
+        ("dup_gauge", 9),
+        ("raw_gauge", 9),
+    )
+    return [name for name, _width in columns for _sample in samples]
+
+
+def render_phase_histograms(histograms):
+    return sorted(histograms)

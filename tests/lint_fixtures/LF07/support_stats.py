@@ -1,0 +1,12 @@
+# module: repro.storage.stats
+"""Fixture stand-in for the StorageStats declaration LF07 checks against."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class StorageStats:
+    buffer_hits: int = 0
+    major_faults: int = 0
+    group_commits: int = 0
+    sessions_per_group: int = 0
