@@ -1,0 +1,178 @@
+"""A7 — the mmap-backed sixth server version vs the buffered page server.
+
+``MMapStoreSM`` keeps every ObjectStore policy and replaces only the
+read path: page images are zero-copy views of a shared file mapping
+instead of buffered ``pread`` copies.  This bench runs the warmed E8
+operation mix on both backends over a real file, then measures the
+read-path difference where it lives — cold history scans that demand-
+fault every page — and pins that the *logical* work is identical: same
+object reads, same faults, same write traffic, with only ``mapped_reads``
+separating the two.
+
+No committed baseline gates A7 yet (the backend is new); the artefact
+records the first trajectory points.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import tempfile
+import time
+
+import pytest
+
+from repro.benchmark import BenchmarkConfig, LabFlowWorkload
+from repro.benchmark.operations import QueryRunner
+from repro.labbase import LabBase
+from repro.storage import MMapStoreSM, ObjectStoreSM
+from repro.util.fmt import format_table
+from repro.util.rng import DeterministicRng
+
+from _common import emit
+
+_CONFIG = BenchmarkConfig(clones_per_interval=10, intervals=(0.5, 1.0))
+_WARMUP_ROUNDS = 20
+_ROUNDS = 120
+_COLD_ROUNDS = 60
+
+CONTENDERS = [("OStore", ObjectStoreSM), ("mmap", MMapStoreSM)]
+
+
+def _build(cls, directory):
+    sm = cls(path=os.path.join(directory, "db.pages"), buffer_pages=512)
+    db = LabBase(sm)
+    workload = LabFlowWorkload(db, _CONFIG)
+    workload.run_all()
+    runner = QueryRunner(db, workload.registry, DeterministicRng(99))
+    return sm, db, workload, runner
+
+
+def _mix_once(db, workload, runner, times) -> None:
+    """One round of the E8 mix: an update transaction + three queries."""
+    _key, oid = workload.registry.by_class["tclone"][0]
+    db.begin()
+    db.record_step(
+        "determine_sequence", next(times), [oid], {"quality": 0.5}
+    )
+    db.set_state(oid, "bench_state", next(times))
+    db.commit()
+    runner.run_q2()
+    runner.run_q6()
+    runner.run_q7()
+
+
+def _run(cls) -> dict:
+    with tempfile.TemporaryDirectory() as directory:
+        sm, db, workload, runner = _build(cls, directory)
+        times = itertools.count(5_000_000)
+        for _ in range(_WARMUP_ROUNDS):
+            _mix_once(db, workload, runner, times)
+
+        before = sm.stats.snapshot()
+        started = time.perf_counter()
+        for _ in range(_ROUNDS):
+            _mix_once(db, workload, runner, times)
+        warm_elapsed = time.perf_counter() - started
+        warm = sm.stats.delta(before)
+
+        before = sm.stats.snapshot()
+        started = time.perf_counter()
+        for _ in range(_COLD_ROUNDS):
+            sm.drop_buffer()
+            runner.run_q7()
+        cold_elapsed = time.perf_counter() - started
+        cold = sm.stats.delta(before)
+        sm.close()
+    return {
+        "mix_us": warm_elapsed / _ROUNDS * 1e6,
+        "cold_scan_us": cold_elapsed / _COLD_ROUNDS * 1e6,
+        "objects_read": warm["objects_read"],
+        "objects_written": warm["objects_written"],
+        "page_writes": warm["page_writes"],
+        "cold_major_faults": cold["major_faults"],
+        "cold_objects_read": cold["objects_read"],
+        "warm_mapped_reads": warm["mapped_reads"],
+        "cold_mapped_reads": cold["mapped_reads"],
+    }
+
+
+@pytest.fixture(scope="module")
+def contenders():
+    return {name: _run(cls) for name, cls in CONTENDERS}
+
+
+def test_a7_emit_table(benchmark, contenders):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    ostore, mm = contenders["OStore"], contenders["mmap"]
+    cold_speedup = ostore["cold_scan_us"] / mm["cold_scan_us"]
+    rows = [
+        ["E8 mix round (us)", f"{ostore['mix_us']:.0f}", f"{mm['mix_us']:.0f}"],
+        ["cold Q7 scan (us)", f"{ostore['cold_scan_us']:.0f}",
+         f"{mm['cold_scan_us']:.0f}"],
+        ["cold major faults", f"{ostore['cold_major_faults']}",
+         f"{mm['cold_major_faults']}"],
+        ["cold mapped reads", f"{ostore['cold_mapped_reads']}",
+         f"{mm['cold_mapped_reads']}"],
+        ["SM object reads", f"{ostore['objects_read']}",
+         f"{mm['objects_read']}"],
+        ["SM object writes", f"{ostore['objects_written']}",
+         f"{mm['objects_written']}"],
+        ["page writes", f"{ostore['page_writes']}", f"{mm['page_writes']}"],
+        ["cold speedup (OStore/mmap)", "1.00x", f"{cold_speedup:.2f}x"],
+    ]
+    text = format_table(
+        ["metric", "OStore", "mmap"],
+        rows,
+        title="A7: buffered vs memory-mapped read path (warm E8 mix + cold scans)",
+        align_right=(1, 2),
+    )
+    emit(
+        "a7_mmap_backend",
+        text,
+        payload={"OStore": ostore, "mmap": mm, "cold_speedup": cold_speedup},
+    )
+
+    # Identical policies above the read path ⟹ identical logical work.
+    for counter in ("objects_read", "objects_written", "page_writes",
+                    "cold_major_faults", "cold_objects_read"):
+        assert ostore[counter] == mm[counter], counter
+    # Only the read path differs: every mmap demand read is zero-copy,
+    # the buffered contender never maps a page.
+    assert mm["cold_mapped_reads"] > 0
+    assert mm["cold_mapped_reads"] == mm["cold_major_faults"]
+    assert ostore["cold_mapped_reads"] == ostore["warm_mapped_reads"] == 0
+
+
+@pytest.mark.parametrize(
+    "cls", [cls for _name, cls in CONTENDERS],
+    ids=[name for name, _cls in CONTENDERS],
+)
+def test_a7_cold_history_scan_latency(benchmark, cls, tmp_path):
+    sm, _db, _workload, runner = _build(cls, str(tmp_path))
+
+    def cold_scan():
+        sm.drop_buffer()
+        runner.run_q7()
+
+    benchmark(cold_scan)
+
+
+@pytest.mark.parametrize(
+    "cls", [cls for _name, cls in CONTENDERS],
+    ids=[name for name, _cls in CONTENDERS],
+)
+def test_a7_update_transaction_latency(benchmark, cls, tmp_path):
+    sm, db, workload, _runner = _build(cls, str(tmp_path))
+    _key, oid = workload.registry.by_class["tclone"][0]
+    times = itertools.count(6_000_000)
+
+    def txn():
+        db.begin()
+        db.record_step(
+            "determine_sequence", next(times), [oid], {"quality": 0.5}
+        )
+        db.set_state(oid, "bench_state", next(times))
+        db.commit()
+
+    benchmark(txn)

@@ -211,6 +211,7 @@ def in_crash_path(name: str) -> bool:
         "repro.storage.faultinject",
         "repro.storage.base",
         "repro.storage.buffer",
+        "repro.storage.mmapstore",
     ) or name.startswith("repro.benchmark")
 
 

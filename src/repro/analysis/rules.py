@@ -64,7 +64,9 @@ _OS_IO_FUNCS = frozenset(
     }
 )
 
-_PAGEFILE_NAMES = frozenset({"PageFile", "FaultyPageFile"})
+_PAGEFILE_NAMES = frozenset(
+    {"PageFile", "FaultyPageFile", "MMapPageFile", "FaultyMMapPageFile"}
+)
 
 
 def _call_name(node: ast.Call) -> str | None:

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.benchmark.harness import ComparisonResult
+from repro.storage import registry
 
 
 @dataclass(frozen=True)
@@ -57,10 +58,16 @@ def check_shapes(comparison: ComparisonResult) -> list[ShapeCheck]:
         f"objects_read values {sorted(reads)}",
     ))
 
-    # S2: size ratio band
+    # S2: size ratio band.  The Texas family is every persistent backend
+    # that swizzles (SWIZZLE_WORK is the family's class marker) — not a
+    # hand-kept name list.
     if "OStore" in servers and "Texas" in servers:
         ostore_size = servers["OStore"].usage_for(final).size_bytes
-        for texas_name in ("Texas", "Texas+TC"):
+        texas_family = [
+            info.name for info in registry.backends(persistent=True)
+            if getattr(info.cls, "SWIZZLE_WORK", 0) > 0
+        ]
+        for texas_name in texas_family:
             if texas_name not in servers:
                 continue
             ratio = _ratio(servers[texas_name].usage_for(final).size_bytes,
@@ -73,8 +80,8 @@ def check_shapes(comparison: ComparisonResult) -> list[ShapeCheck]:
             ))
 
     # S3: OStore fewest faults among persistent versions
-    persistent = [name for name in ("OStore", "Texas", "Texas+TC")
-                  if name in servers]
+    persistent = [info.name for info in registry.backends(persistent=True)
+                  if info.name in servers]
     if "OStore" in persistent and len(persistent) > 1:
         faults = {
             name: servers[name].final_stats.get("major_faults", 0)
@@ -87,7 +94,8 @@ def check_shapes(comparison: ComparisonResult) -> list[ShapeCheck]:
         ))
 
     # S4: main-memory versions
-    for name in ("OStore-mm", "Texas-mm"):
+    for info in registry.backends(persistent=False):
+        name = info.name
         if name not in servers:
             continue
         total = servers[name].total_usage()
@@ -121,16 +129,19 @@ def check_shapes(comparison: ComparisonResult) -> list[ShapeCheck]:
             f"sizes {sizes}",
         ))
 
-    # S7: swizzling happens exactly on the Texas family
+    # S7: swizzling happens exactly on the Texas family.  Whether a
+    # backend swizzles at fault time is a class property (SWIZZLE_WORK),
+    # not a name pattern — the mmap version faults like OStore and must
+    # show zero swizzles too.
     for name in persistent:
         swizzles = servers[name].final_stats.get("swizzle_operations", 0)
         faults = servers[name].final_stats.get("major_faults", 0)
-        if name == "OStore":
-            passed = swizzles == 0
-            detail = f"{swizzles} swizzles"
-        else:
+        if getattr(registry.backend(name).cls, "SWIZZLE_WORK", 0) > 0:
             passed = (swizzles > 0) == (faults > 0)
             detail = f"{swizzles} swizzles for {faults} faults"
+        else:
+            passed = swizzles == 0
+            detail = f"{swizzles} swizzles"
         checks.append(ShapeCheck(
             "S7", f"{name}: swizzle work iff Texas-style faults", passed, detail,
         ))

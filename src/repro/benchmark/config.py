@@ -19,9 +19,11 @@ from dataclasses import dataclass, replace
 from repro.errors import ConfigError
 from repro.storage.buffer import DEFAULT_READAHEAD_PAGES
 from repro.storage.objcache import DEFAULT_CACHE_OBJECTS
+from repro.storage.registry import backend_names
 
-#: Paper column order for the five server versions.
-SERVER_ORDER = ("OStore", "Texas+TC", "Texas", "OStore-mm", "Texas-mm")
+#: Server versions in table column order — derived from the backend
+#: registry, so a newly registered backend appears everywhere at once.
+SERVER_ORDER: tuple[str, ...] = backend_names()
 
 
 @dataclass(frozen=True)

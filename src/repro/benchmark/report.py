@@ -71,6 +71,7 @@ def render_stats(
         "pages_prefetched",
         "prefetch_hits",
         "io_batches",
+        "mapped_reads",
         "meta_bytes_written",
         "swizzle_operations",
         "objects_read",

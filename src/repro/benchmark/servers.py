@@ -1,8 +1,10 @@
-"""The five server versions of the paper's Section 10.
+"""Server versions for the benchmark harness.
 
 Each :class:`ServerSpec` knows how to construct its storage manager;
-``all_servers()`` returns them in the paper's column order (OStore,
-Texas+TC, Texas, OStore-mm, Texas-mm).
+``all_servers()`` returns them in table column order.  The set comes
+from the backend registry (``repro.storage.registry``) — this module
+holds no server names, only the wiring from a registered backend to a
+configured LabBase.
 """
 
 from __future__ import annotations
@@ -12,13 +14,9 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.benchmark.config import SERVER_ORDER, BenchmarkConfig
-from repro.errors import ConfigError
 from repro.labbase.database import LabBase
 from repro.storage.base import StorageManager
-from repro.storage.clustered import TexasTCSM
-from repro.storage.memstore import OStoreMM, TexasMM
-from repro.storage.objectstore import ObjectStoreSM
-from repro.storage.texas import TexasSM
+from repro.storage.registry import backend
 
 
 @dataclass(frozen=True)
@@ -40,46 +38,6 @@ class ServerSpec:
         return self._factory(path, config.buffer_pages, config.readahead)
 
 
-_SPECS: dict[str, ServerSpec] = {
-    "OStore": ServerSpec(
-        name="OStore",
-        persistent=True,
-        description="ObjectStore-style: segments, dense pages, page server",
-        _factory=lambda path, pages, readahead: ObjectStoreSM(
-            path=path, buffer_pages=pages, readahead_pages=readahead
-        ),
-    ),
-    "Texas+TC": ServerSpec(
-        name="Texas+TC",
-        persistent=True,
-        description="Texas plus client-code object clustering",
-        _factory=lambda path, pages, readahead: TexasTCSM(
-            path=path, buffer_pages=pages, readahead_pages=readahead
-        ),
-    ),
-    "Texas": ServerSpec(
-        name="Texas",
-        persistent=True,
-        description="Texas-style: one heap, power-of-two cells, swizzling",
-        _factory=lambda path, pages, readahead: TexasSM(
-            path=path, buffer_pages=pages, readahead_pages=readahead
-        ),
-    ),
-    "OStore-mm": ServerSpec(
-        name="OStore-mm",
-        persistent=False,
-        description="main memory, ObjectStore-flavoured API",
-        _factory=lambda path, pages, readahead: OStoreMM(),
-    ),
-    "Texas-mm": ServerSpec(
-        name="Texas-mm",
-        persistent=False,
-        description="main memory, Texas-flavoured API",
-        _factory=lambda path, pages, readahead: TexasMM(),
-    ),
-}
-
-
 def make_db(spec: "ServerSpec", config: BenchmarkConfig) -> tuple[StorageManager, LabBase]:
     """Storage manager + LabBase wired per the benchmark config.
 
@@ -98,14 +56,20 @@ def make_db(spec: "ServerSpec", config: BenchmarkConfig) -> tuple[StorageManager
 
 
 def server_spec(name: str) -> ServerSpec:
-    try:
-        return _SPECS[name]
-    except KeyError:
-        raise ConfigError(
-            f"unknown server version {name!r}; know {sorted(_SPECS)}"
-        ) from None
+    """The spec for one registered backend.
+
+    An unknown name raises ``UnknownBackendError`` (listing what *is*
+    registered) straight from the registry lookup.
+    """
+    info = backend(name)
+    return ServerSpec(
+        name=info.name,
+        persistent=info.persistent,
+        description=info.description,
+        _factory=info.make,
+    )
 
 
 def all_servers(names: tuple[str, ...] = SERVER_ORDER) -> list[ServerSpec]:
-    """Server specs in the paper's column order (or a chosen subset)."""
+    """Server specs in table column order (or a chosen subset)."""
     return [server_spec(name) for name in names]

@@ -9,7 +9,7 @@
     python -m repro demo [--clones N]
     python -m repro query DBFILE "state(M, S)."
     python -m repro shell DBFILE
-    python -m repro serve [DBFILE] [--port P] [--smoke N] [--trace FILE]
+    python -m repro serve [DBFILE] [--server NAME] [--port P] [--smoke N]
     python -m repro monitor --port P [--samples N] [--interval SEC]
     python -m repro bench record [--schemas A4 A5 A6]
     python -m repro bench compare --baseline BENCH_A4.json ... [--tolerance T]
@@ -246,22 +246,6 @@ def cmd_replay(args) -> int:
     return 0
 
 
-_STORE_CLASSES = None
-
-
-def _store_class(server: str):
-    global _STORE_CLASSES
-    if _STORE_CLASSES is None:
-        from repro.storage import TexasSM, TexasTCSM
-
-        _STORE_CLASSES = {
-            "OStore": ObjectStoreSM,
-            "Texas": TexasSM,
-            "Texas+TC": TexasTCSM,
-        }
-    return _STORE_CLASSES[server]
-
-
 def _open_existing_store(args):
     """Open a database file for verify/recover; refuse to create one.
 
@@ -272,7 +256,9 @@ def _open_existing_store(args):
     if not os.path.exists(args.db):
         print(f"error: no such database file: {args.db}", file=sys.stderr)
         return None
-    return _store_class(args.server)(path=args.db)
+    from repro.storage.registry import backend
+
+    return backend(args.server).cls(path=args.db)  # type: ignore[call-arg]
 
 
 def cmd_verify(args) -> int:
@@ -332,10 +318,12 @@ def cmd_serve(args) -> int:
         bootstrap_schema,
         run_concurrent_clients,
     )
-    from repro.storage import ObjectStoreSM
+    from repro.storage.registry import backend
     from repro.storage.report import stats_report
 
-    sm = ObjectStoreSM(path=args.db, checkpoint_every=args.checkpoint_every)
+    sm = backend(args.server).cls(  # type: ignore[call-arg]
+        path=args.db, checkpoint_every=args.checkpoint_every
+    )
     db = LabBase(sm)
     bootstrap_schema(db)
     trace_sink = open(args.trace, "w") if args.trace else None
@@ -362,7 +350,8 @@ def cmd_serve(args) -> int:
         sampler_thread.start()
     runner = ServiceRunner(service, host=args.host, port=args.port)
     host, port = runner.start()
-    print(f"serving {args.db or '<in-memory>'} on {host}:{port} "
+    print(f"serving {args.db or '<in-memory>'} [{args.server}] on "
+          f"{host}:{port} "
           f"(group commit {'off' if args.no_group_commit else 'on'}, "
           f"cap {args.group_cap})")
     try:
@@ -552,17 +541,24 @@ def build_parser() -> argparse.ArgumentParser:
     _add_readahead_flag(p)
     p.set_defaults(func=cmd_replay)
 
+    from repro.storage.registry import backends
+
+    persistent_servers = [info.name for info in backends(persistent=True)]
+    concurrent_servers = [info.name for info in backends(concurrent=True)]
+
     p = sub.add_parser("verify", help="check a database file's integrity")
     p.add_argument("db", help="database file to check (read-only)")
-    p.add_argument("--server", choices=["OStore", "Texas", "Texas+TC"],
-                   default="OStore", help="store format of the file")
+    p.add_argument("--server", choices=persistent_servers,
+                   default=persistent_servers[0],
+                   help="store format of the file")
     p.set_defaults(func=cmd_verify)
 
     p = sub.add_parser("recover",
                        help="repair a database file after a crash")
     p.add_argument("db", help="database file to repair (rewritten)")
-    p.add_argument("--server", choices=["OStore", "Texas", "Texas+TC"],
-                   default="OStore", help="store format of the file")
+    p.add_argument("--server", choices=persistent_servers,
+                   default=persistent_servers[0],
+                   help="store format of the file")
     p.set_defaults(func=cmd_recover)
 
     p = sub.add_parser("lint",
@@ -577,8 +573,11 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("serve",
                        help="serve a database to concurrent socket clients")
     p.add_argument("db", nargs="?", default=None,
-                   help="database file (ObjectStoreSM format; created if "
-                        "missing; omitted = in-memory)")
+                   help="database file (created if missing; omitted = "
+                        "in-memory)")
+    p.add_argument("--server", choices=concurrent_servers,
+                   default=concurrent_servers[0],
+                   help="storage backend serving the sessions")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=0,
                    help="listening port (default 0 picks a free one)")

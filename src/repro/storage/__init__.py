@@ -1,21 +1,27 @@
 """Simulated object storage managers (the benchmark's substrates).
 
-The five *server versions* of the paper's Section 10 map to:
+The server versions — the paper's Section 10 five plus the mmap-backed
+sixth — map to:
 
 ================  ============================================
-paper version     class
+server version    class
 ================  ============================================
 OStore            :class:`~repro.storage.objectstore.ObjectStoreSM`
-Texas             :class:`~repro.storage.texas.TexasSM`
 Texas+TC          :class:`~repro.storage.clustered.TexasTCSM`
+Texas             :class:`~repro.storage.texas.TexasSM`
 OStore-mm         :class:`~repro.storage.memstore.OStoreMM`
 Texas-mm          :class:`~repro.storage.memstore.TexasMM`
+mmap              :class:`~repro.storage.mmapstore.MMapStoreSM`
 ================  ============================================
 
-All implement the :class:`~repro.storage.base.StorageManager` API, so
-LabBase (and any application) runs unchanged over each.
+All implement the :class:`~repro.storage.contract.StorageManager` API,
+so LabBase (and any application) runs unchanged over each.  The set is
+open: each version registers itself with
+:mod:`repro.storage.registry`, and everything above the storage layer
+(``SERVER_ORDER``, the harness, the CLI) derives the list from there.
 """
 
+from repro.errors import UnknownBackendError
 from repro.storage.base import PagedStorageManager, StorageManager
 from repro.storage.buffer import (
     DEFAULT_POOL_PAGES,
@@ -23,13 +29,26 @@ from repro.storage.buffer import (
     BufferPool,
 )
 from repro.storage.clustered import TexasTCSM
-from repro.storage.faultinject import FaultInjector, FaultyPageFile
+from repro.storage.contract import CacheHooks
+from repro.storage.faultinject import (
+    FaultInjector,
+    FaultyMMapPageFile,
+    FaultyPageFile,
+)
 from repro.storage.locks import LockManager, LockMode
 from repro.storage.memstore import MainMemorySM, OStoreMM, TexasMM
+from repro.storage.mmapstore import MMapStoreSM
 from repro.storage.objcache import DEFAULT_CACHE_OBJECTS, ObjectCache
 from repro.storage.objectstore import ObjectStoreSM
 from repro.storage.integrity import IntegrityReport, verify
 from repro.storage.page import PAGE_SIZE, Page, exact_charge, power_of_two_charge
+from repro.storage.registry import (
+    BackendInfo,
+    backend,
+    backend_names,
+    backends,
+    register_backend,
+)
 from repro.storage.report import SegmentStats, segment_report, segment_stats
 from repro.storage.segment import DEFAULT_SEGMENT, Segment
 from repro.storage.stats import StorageStats
@@ -37,6 +56,7 @@ from repro.storage.texas import TexasSM
 
 __all__ = [
     "StorageManager",
+    "CacheHooks",
     "PagedStorageManager",
     "ObjectStoreSM",
     "TexasSM",
@@ -44,6 +64,13 @@ __all__ = [
     "MainMemorySM",
     "OStoreMM",
     "TexasMM",
+    "MMapStoreSM",
+    "BackendInfo",
+    "register_backend",
+    "backend",
+    "backends",
+    "backend_names",
+    "UnknownBackendError",
     "BufferPool",
     "DEFAULT_POOL_PAGES",
     "DEFAULT_READAHEAD_PAGES",
@@ -60,6 +87,7 @@ __all__ = [
     "IntegrityReport",
     "FaultInjector",
     "FaultyPageFile",
+    "FaultyMMapPageFile",
     "segment_stats",
     "segment_report",
     "SegmentStats",

@@ -1,13 +1,12 @@
-"""The common storage-manager machinery.
+"""The shared paged storage-manager implementation.
 
-:class:`StorageManager` is the abstract API every server version of the
-benchmark runs against — LabBase (Architecture C) is written once against
-this interface, exactly as the paper runs "virtually the same LabBase
-implementation" over each storage manager.
-
-:class:`PagedStorageManager` implements the API over pages, a buffer
-pool, and the simulated disk.  Concrete managers differ only in the
-*policies* the paper attributes the measured differences to:
+The abstract :class:`StorageManager` API — the contract every server
+version of the benchmark runs against — lives in
+``repro.storage.contract`` (re-exported here for compatibility); this
+module supplies :class:`PagedStorageManager`, which implements the API
+over pages, a buffer pool, and the simulated disk.  Concrete managers
+differ only in the *policies* the paper attributes the measured
+differences to:
 
 * ``charge_policy`` — how record bytes map to allocated bytes
   (dense for ObjectStore, power-of-two cells for Texas);
@@ -16,14 +15,17 @@ pool, and the simulated disk.  Concrete managers differ only in the
   (Texas);
 * the fault hook — Texas charges pointer-swizzling work per fault;
 * concurrency — ObjectStore admits multiple clients through a lock
-  manager, Texas refuses a second client.
+  manager, Texas refuses a second client;
+* the disk layer — the :meth:`PagedStorageManager._open_disk` hook lets
+  a backend substitute the page-file implementation (the mmap-backed
+  store swaps in zero-copy mapped pages) without touching any policy
+  above it.
 """
 
 from __future__ import annotations
 
-import abc
 import pickle
-from typing import TYPE_CHECKING, Iterator, Protocol
+from typing import TYPE_CHECKING, Iterator
 
 if TYPE_CHECKING:
     from repro.storage.faultinject import FaultInjector
@@ -42,6 +44,7 @@ from repro.storage.buffer import (
     DEFAULT_READAHEAD_PAGES,
     BufferPool,
 )
+from repro.storage.contract import CacheHooks, StorageManager
 from repro.storage.disk import PageFile
 from repro.storage.page import (
     MAX_RECORD_BYTES,
@@ -54,6 +57,8 @@ from repro.storage import serializer
 from repro.storage.stats import StorageStats
 from repro.util.ids import OidAllocator
 
+__all__ = ["CacheHooks", "StorageManager", "PagedStorageManager", "len_meta"]
+
 #: Payload bytes per large-object chunk (kept under MAX_RECORD_BYTES with
 #: room for the pickle framing of a bytes object).
 CHUNK_PAYLOAD_BYTES = 3800
@@ -62,202 +67,10 @@ CHUNK_PAYLOAD_BYTES = 3800
 _ABSENT = object()
 
 
-class CacheHooks(Protocol):
-    """What a storage manager asks of an attached object cache."""
-
-    def on_sm_begin(self) -> None: ...
-    def on_sm_drain(self) -> None: ...
-    def on_sm_txn_end(self) -> None: ...
-    def on_sm_invalidate(self) -> None: ...
-    def on_sm_delete(self, oid: int) -> None: ...
-
-
-class StorageManager(abc.ABC):
-    """Abstract persistent object store.
-
-    Objects are plain data (see ``repro.storage.serializer``) addressed by
-    integer oids.  Named *roots* bootstrap access to everything else.
-    """
-
-    name: str = "abstract"
-    supports_segments: bool = False
-    supports_concurrency: bool = False
-    persistent: bool = True
-
-    stats: StorageStats
-
-    #: Attached object caches (see ``repro.storage.objcache``).  Class-level
-    #: empty tuple so managers without caches pay nothing; ``attach_cache``
-    #: installs a per-instance list.
-    _caches: tuple[CacheHooks, ...] | list[CacheHooks] = ()
-
-    # -- object-cache hooks --------------------------------------------------
-    #
-    # An object cache layered above this manager registers itself here so
-    # the manager can keep it coherent: transactions drain it, aborts and
-    # recovery invalidate it, deletes evict.  Concrete managers call the
-    # ``_*_caches`` helpers from their commit/abort/delete/recover paths.
-
-    def attach_cache(self, cache: CacheHooks) -> None:
-        """Register an object cache for coherence callbacks."""
-        if not isinstance(self._caches, list):
-            self._caches = []
-        self._caches.append(cache)
-
-    def detach_cache(self, cache: CacheHooks) -> None:
-        """Unregister a cache (missing caches are ignored)."""
-        if isinstance(self._caches, list) and cache in self._caches:
-            self._caches.remove(cache)
-
-    def _drain_caches(self) -> None:
-        for cache in self._caches:
-            cache.on_sm_drain()
-
-    def _begin_caches(self) -> None:
-        for cache in self._caches:
-            cache.on_sm_begin()
-
-    def _end_txn_caches(self) -> None:
-        for cache in self._caches:
-            cache.on_sm_txn_end()
-
-    def _invalidate_caches(self) -> None:
-        for cache in self._caches:
-            cache.on_sm_invalidate()
-
-    def _evict_caches(self, oid: int) -> None:
-        for cache in self._caches:
-            cache.on_sm_delete(oid)
-
-    # -- lifecycle -----------------------------------------------------------
-
-    @abc.abstractmethod
-    def close(self) -> None:
-        """Flush and release resources; further calls raise."""
-
-    # -- segments --------------------------------------------------------------
-
-    @abc.abstractmethod
-    def create_segment(self, name: str, description: str = "") -> str:
-        """Create (or return) a named clustering unit.
-
-        Managers without segment support accept the call but place all
-        data in the single default segment — matching how code written
-        for ObjectStore runs unchanged, just unclustered, on Texas.
-        """
-
-    @abc.abstractmethod
-    def segment_names(self) -> list[str]:
-        """Names of existing segments."""
-
-    # -- objects --------------------------------------------------------------
-
-    @abc.abstractmethod
-    def allocate_write(self, obj: object, segment: str | None = None) -> int:
-        """Store a new object, returning its oid."""
-
-    @abc.abstractmethod
-    def write(self, oid: int, obj: object) -> None:
-        """Overwrite an existing object in place."""
-
-    @abc.abstractmethod
-    def read(self, oid: int) -> object:
-        """Fetch an object by oid."""
-
-    @abc.abstractmethod
-    def exists(self, oid: int) -> bool:
-        """Whether the oid names a stored object."""
-
-    @abc.abstractmethod
-    def delete(self, oid: int) -> None:
-        """Remove an object."""
-
-    @abc.abstractmethod
-    def oids(self) -> Iterator[int]:
-        """Iterate every stored oid (testing / integrity checks)."""
-
-    def pages_of(self, oid: int) -> list[int]:
-        """Page ids holding an object's record(s), in storage order.
-
-        Part of the public API so layers above (the lock manager maps
-        oids to page-granularity locks) need not reach into directory
-        internals.  Managers without paged storage hold objects in no
-        page at all and return an empty list; an unknown oid raises
-        :class:`UnknownOidError` either way.
-        """
-        if not self.exists(oid):
-            raise UnknownOidError(oid)
-        return []
-
-    # -- roots ---------------------------------------------------------------
-
-    @abc.abstractmethod
-    def set_root(self, name: str, oid: int) -> None:
-        """Bind a well-known name to an oid."""
-
-    @abc.abstractmethod
-    def get_root(self, name: str) -> int | None:
-        """Look up a root binding, or None."""
-
-    # -- transactions -----------------------------------------------------------
-
-    #: Set by subclasses between begin() and commit()/abort().
-    _in_txn: bool = False
-
-    @property
-    def in_transaction(self) -> bool:
-        """Whether an explicit transaction is open (no nesting)."""
-        return self._in_txn
-
-    @abc.abstractmethod
-    def begin(self) -> None:
-        """Start a transaction (no nesting)."""
-
-    @abc.abstractmethod
-    def commit(self) -> None:
-        """Make all writes durable; also usable outside a transaction
-        as a checkpoint."""
-
-    @abc.abstractmethod
-    def abort(self) -> None:
-        """Undo all writes since :meth:`begin`."""
-
-    # -- accounting ----------------------------------------------------------
-
-    @abc.abstractmethod
-    def size_bytes(self) -> int:
-        """Total database size on disk (the paper's size column)."""
-
-    # -- crash consistency -----------------------------------------------------
-
-    def verify(self) -> "IntegrityReport":
-        """Check on-disk and in-memory invariants; see ``integrity``.
-
-        The default (for non-paged managers, which hold no disk state
-        that could tear) reports success.
-        """
-        from repro.storage.integrity import IntegrityReport
-
-        return IntegrityReport(manager=self.name, problems=[])
-
-    def recover(self) -> dict[str, int]:
-        """Repair state after a crash-reopen.
-
-        The default is a no-op: managers without persistent state have
-        nothing to reconcile.  Returns the same counter dict as the
-        paged implementation so drivers can report uniformly.
-        """
-        self._invalidate_caches()
-        return {"dropped_objects": 0, "dropped_roots": 0, "vacuumed_slots": 0}
-
-    # -- convenience ---------------------------------------------------------
-
-    def object_count(self) -> int:
-        return sum(1 for _ in self.oids())
-
-
 class PagedStorageManager(StorageManager):
     """Shared implementation for the page-based (persistent) managers."""
+
+    supports_crash_matrix = True
 
     def __init__(
         self,
@@ -294,15 +107,11 @@ class PagedStorageManager(StorageManager):
         self._readahead_pages = readahead_pages
         self._pages_flushed_since_checkpoint = False
         self._last_checkpoint_image: bytes | None = None
-        # The manager *owns* its page file: these two constructor calls
-        # are the single place the storage stack opens one, so every
-        # write point flows through the injectable disk layer below.
-        if fault_injector is not None:
-            from repro.storage.faultinject import FaultyPageFile
-
-            self._disk = FaultyPageFile(path, fault_injector)  # lint: ignore[LF01]
-        else:
-            self._disk = PageFile(path)  # lint: ignore[LF01]
+        # The manager *owns* its page file: _open_disk is the single
+        # place the storage stack opens one, so every write point flows
+        # through the injectable disk layer below.  Backends that swap
+        # the disk implementation (mmapstore) override the hook.
+        self._disk = self._open_disk(path, fault_injector)
         batched = readahead_pages > 0
         self._pool = BufferPool(
             capacity_pages=buffer_pages,
@@ -358,6 +167,23 @@ class PagedStorageManager(StorageManager):
             # no intervening writes can skip rewriting the blob.
             self._last_checkpoint_image = self._checkpoint_image()
         self._index_pages()
+
+    def _open_disk(
+        self, path: str | None, fault_injector: FaultInjector | None
+    ) -> PageFile:
+        """Open the page file this manager will own.
+
+        The hook is the seam backends use to substitute the disk layer:
+        the base opens the buffered :class:`PageFile` (wrapped for fault
+        injection when the crash matrix asks), mmapstore returns the
+        memory-mapped equivalents.  Overrides must honour
+        ``fault_injector`` or clear ``supports_crash_matrix``.
+        """
+        if fault_injector is not None:
+            from repro.storage.faultinject import FaultyPageFile
+
+            return FaultyPageFile(path, fault_injector)  # lint: ignore[LF01]
+        return PageFile(path)  # lint: ignore[LF01]
 
     # -- metadata persistence ---------------------------------------------------
 
@@ -954,6 +780,9 @@ class PagedStorageManager(StorageManager):
             raise TransactionError("close() inside an open transaction")
         self._drain_caches()
         self._flush_all()
+        # Release pool pages (and any staged read images that may view
+        # the disk layer's buffers) before the disk unmaps/closes.
+        self._pool.clear()
         self._disk.close()
         self._closed = True
 

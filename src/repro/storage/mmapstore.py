@@ -1,0 +1,59 @@
+"""The "mmap" server version: the OStore policy stack over mapped pages.
+
+The sixth contender asks a question the original five cannot: how much
+of the persistent stores' cost is the *buffered read path* — seek, copy
+into a userspace buffer, copy again into the page object — rather than
+storage-management policy?  ``MMapStoreSM`` keeps every policy of the
+OStore version (segments, dense exact-charge allocation, the lock-based
+page server, the commit-epoch + CRC trailer, group commit, the object
+cache) and swaps only the disk layer: pages live in ``mmap``-ed chunks
+of the database file, and a demand read hands the buffer pool a
+zero-copy ``memoryview`` of the mapped bytes
+(:class:`repro.storage.disk.MMapPageFile`).
+
+Because the swap happens below the trailer format, everything above is
+unchanged *and verifiable*: the crash matrix sweeps this backend with
+the identical write-point schedule (via
+:class:`repro.storage.faultinject.FaultyMMapPageFile`), and a cleanly
+closed mmap database file is byte-identical to an OStore one — the
+equivalence tests assert both.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.storage.faultinject import FaultInjector
+
+from repro.storage.disk import MMapPageFile, PageFile
+from repro.storage.objectstore import ObjectStoreSM
+from repro.storage.page import Page
+from repro.storage.registry import register_backend
+
+
+@register_backend(
+    "mmap",
+    order=5,
+    description="OStore policies over memory-mapped pages, zero-copy reads",
+)
+class MMapStoreSM(ObjectStoreSM):
+    """Segment-aware page-server store reading through ``mmap``."""
+
+    name = "mmap"
+
+    def _open_disk(
+        self, path: str | None, fault_injector: "FaultInjector | None"
+    ) -> PageFile:
+        if fault_injector is not None:
+            from repro.storage.faultinject import FaultyMMapPageFile
+
+            return FaultyMMapPageFile(path, fault_injector)  # lint: ignore[LF01]
+        return MMapPageFile(path)  # lint: ignore[LF01]
+
+    def _load_page(self, page_id: int) -> Page:
+        # Same decode as the base path — the image is just a view of the
+        # map instead of a copy.  Counted so A-series runs can report
+        # how many demand reads the mapping served.
+        self.stats.mapped_reads += 1
+        return super()._load_page(page_id)

@@ -37,6 +37,7 @@ class StorageStats:
     pages_prefetched: int = 0    # read-ahead: pages staged by vectored reads
     prefetch_hits: int = 0       # read-ahead: faults absorbed by staged pages
     io_batches: int = 0          # vectored disk transfers (>= 2 pages each)
+    mapped_reads: int = 0        # mmap backend: demand reads served zero-copy
     meta_bytes_written: int = 0  # checkpoint blob bytes physically written
     group_commits: int = 0       # server: storage commits closing a group
     sessions_per_group: int = 0  # server: session-units fused into those groups

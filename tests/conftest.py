@@ -1,8 +1,10 @@
 """Shared fixtures.
 
-``all_sm_factories`` parametrizes over every storage manager so each
-behavioural test runs against all five server versions — the same
-"identical LabBase over every store" discipline the paper uses.
+``any_sm`` parametrizes over every registered storage backend so each
+behavioural test runs against every server version — the same
+"identical LabBase over every store" discipline the paper uses.  The
+set comes from the backend registry: registering a sixth version makes
+the whole behavioural suite cover it with no test edits.
 """
 
 from __future__ import annotations
@@ -12,23 +14,18 @@ import os
 import pytest
 
 from repro.labbase import LabBase, LabClock
-from repro.storage import (
-    ObjectStoreSM,
-    OStoreMM,
-    TexasMM,
-    TexasSM,
-    TexasTCSM,
-)
+from repro.storage import OStoreMM
+from repro.storage.buffer import DEFAULT_READAHEAD_PAGES
+from repro.storage.registry import backends
 
-SM_FACTORIES = {
-    "OStore": lambda path, pages: ObjectStoreSM(path=path, buffer_pages=pages),
-    "Texas": lambda path, pages: TexasSM(path=path, buffer_pages=pages),
-    "Texas+TC": lambda path, pages: TexasTCSM(path=path, buffer_pages=pages),
-    "OStore-mm": lambda path, pages: OStoreMM(),
-    "Texas-mm": lambda path, pages: TexasMM(),
-}
 
-PERSISTENT = ("OStore", "Texas", "Texas+TC")
+def _factory(info):
+    return lambda path, pages: info.make(path, pages, DEFAULT_READAHEAD_PAGES)
+
+
+SM_FACTORIES = {info.name: _factory(info) for info in backends()}
+
+PERSISTENT = tuple(info.name for info in backends(persistent=True))
 
 
 @pytest.fixture(params=sorted(SM_FACTORIES))

@@ -259,7 +259,7 @@ def test_lint_rule_subset(capsys):
 def test_serve_smoke_in_memory(capsys):
     assert main(["serve", "--smoke", "3", "--units", "8"]) == 0
     out = capsys.readouterr().out
-    assert "serving <in-memory> on 127.0.0.1:" in out
+    assert "serving <in-memory> [OStore] on 127.0.0.1:" in out
     assert "creates: 12" in out  # 3 clients x 4 mix materials
     assert "verify: OK" in out
 

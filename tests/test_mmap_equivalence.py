@@ -1,0 +1,212 @@
+"""Property test: the mmap backend is ObjectStore with a different read path.
+
+``MMapStoreSM`` inherits every policy from ``ObjectStoreSM`` — segments,
+buffer pool, vectored commit, epoch+CRC trailers — and changes only how
+page images reach memory (zero-copy views of a shared mapping instead of
+buffered ``pread``).  That claim is testable: any workload must leave
+the two backends with **identical query answers** and **bit-identical
+logical contents** — the ``.pages`` file byte for byte, the ``.meta``
+blob equal once the backend's self-identifying ``manager`` key is
+popped.  Three workload shapes:
+
+* random hypothesis streams through the shared workload interpreter,
+* the seeded E8-style client mix through the served layer, and
+* random K-session interleavings with group commit on.
+
+A cross-open check rides along: a database written by one backend must
+open, verify and answer under the other — same format, different mmap.
+"""
+
+import os
+import pickle
+import tempfile
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.labbase import LabBase
+from repro.server import ClientRunner, LabFlowService, LocalClient, bootstrap_schema
+from repro.storage import MMapStoreSM, ObjectStoreSM
+
+from tests.test_readahead_equivalence import _answers, _run_workload
+from tests.test_server_properties import _drive_units
+
+#: Small pool so workloads actually fault through the mmap read path.
+POOL_PAGES = 24
+
+BACKENDS = [("ostore", ObjectStoreSM), ("mmap", MMapStoreSM)]
+
+
+def _served_answers(db) -> dict:
+    """Query snapshot over the served schema (clone / measure)."""
+    snapshot: dict = {"states": {}, "materials": {}}
+    for state in ("active", "busy", "done"):
+        snapshot["states"][state] = sorted(db.in_state(state))
+    for oid, record in db.iter_materials():
+        snapshot["materials"][record["key"]] = {
+            "state": db.state_of(oid),
+            "history_len": db.history_length(oid),
+            "history": [
+                (step["valid_time"], step["results"])
+                for _oid, step in db.material_history(oid)
+            ],
+        }
+    snapshot["counts"] = (
+        db.count_materials("clone"), db.count_steps("measure"),
+    )
+    return snapshot
+
+
+def _logical_contents(directory: str) -> dict[str, object]:
+    """Database files with backend identity factored out.
+
+    Page files compare as raw bytes; the ``.meta`` blob compares as the
+    unpickled dict minus the ``manager`` name — the one field that
+    legitimately differs between backends.
+    """
+    contents: dict[str, object] = {}
+    for name in sorted(os.listdir(directory)):
+        with open(os.path.join(directory, name), "rb") as handle:
+            blob = handle.read()
+        if name.endswith(".meta"):
+            meta = pickle.loads(blob)
+            meta.pop("manager", None)
+            contents[name] = meta
+        else:
+            contents[name] = blob
+    return contents
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(codes=st.lists(st.integers(0, 9999), min_size=8, max_size=50))
+def test_mmap_equals_ostore_on_random_workloads(codes):
+    answers: dict[str, dict] = {}
+    files: dict[str, dict] = {}
+    with tempfile.TemporaryDirectory() as workdir:
+        for backend_name, cls in BACKENDS:
+            directory = os.path.join(workdir, backend_name)
+            os.makedirs(directory)
+            sm = cls(
+                path=os.path.join(directory, "db.pages"),
+                buffer_pages=POOL_PAGES,
+            )
+            db = LabBase(sm)
+            _run_workload(db, codes)
+            answers[backend_name] = _answers(db)
+            sm.close()
+            files[backend_name] = _logical_contents(directory)
+    assert answers["mmap"] == answers["ostore"]
+    assert files["mmap"] == files["ostore"]
+
+
+def _served_e8_run(cls, directory, *, sessions=3, units=30):
+    """The seeded E8-style client mix through the served layer."""
+    sm = cls(
+        path=os.path.join(directory, "db.pages"),
+        buffer_pages=POOL_PAGES,
+        checkpoint_every=0,
+    )
+    db = LabBase(sm)
+    bootstrap_schema(db)
+    service = LabFlowService(
+        db, group_commit=True, group_cap=3, retry_backoff=0.0
+    )
+    tallies = []
+    for i in range(sessions):
+        client = LocalClient(service, f"s{i}")
+        runner = ClientRunner(client, seed=100 + i, materials=3)
+        tallies.append(runner.run(units))
+        client.close()
+    service.shutdown()
+    assert db.verify_storage().ok
+    sm.drop_buffer()  # cold snapshot: answers fault through the read path
+    answers = _served_answers(db)
+    stats = sm.stats.snapshot()
+    sm.close()
+    return tallies, answers, stats, _logical_contents(directory)
+
+
+def test_mmap_equals_ostore_on_the_e8_mix():
+    results = {}
+    with tempfile.TemporaryDirectory() as workdir:
+        for backend_name, cls in BACKENDS:
+            directory = os.path.join(workdir, backend_name)
+            os.makedirs(directory)
+            results[backend_name] = _served_e8_run(cls, directory)
+    tallies_mm, answers_mm, stats_mm, files_mm = results["mmap"]
+    tallies_os, answers_os, stats_os, files_os = results["ostore"]
+    assert tallies_mm == tallies_os
+    assert answers_mm == answers_os
+    assert files_mm == files_os
+    # the mmap run really took the zero-copy read path
+    assert stats_mm["mapped_reads"] > 0
+    assert stats_os["mapped_reads"] == 0
+    # and the logical I/O was identical
+    for counter in ("objects_read", "objects_written", "page_writes",
+                    "major_faults", "commits"):
+        assert stats_mm[counter] == stats_os[counter], counter
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    codes=st.lists(st.integers(0, 9999), min_size=5, max_size=40),
+    n_sessions=st.integers(min_value=2, max_value=4),
+)
+def test_mmap_equals_ostore_on_served_interleavings(codes, n_sessions):
+    """Random K-session interleavings with group commit on."""
+    files: dict[str, dict] = {}
+    answers: dict[str, dict] = {}
+    with tempfile.TemporaryDirectory() as workdir:
+        for backend_name, cls in BACKENDS:
+            directory = os.path.join(workdir, backend_name)
+            os.makedirs(directory)
+            sm = cls(
+                path=os.path.join(directory, "db.pages"),
+                buffer_pages=POOL_PAGES,
+                checkpoint_every=0,
+            )
+            db = LabBase(sm)
+            bootstrap_schema(db)
+            service = LabFlowService(
+                db, group_commit=True, group_cap=3, retry_backoff=0.0
+            )
+            _drive_units(
+                service, [f"s{i}" for i in range(n_sessions)], codes
+            )
+            service.shutdown()
+            assert db.verify_storage().ok
+            answers[backend_name] = _served_answers(db)
+            sm.close()
+            files[backend_name] = _logical_contents(directory)
+    assert answers["mmap"] == answers["ostore"]
+    assert files["mmap"] == files["ostore"]
+
+
+def test_databases_cross_open_between_backends(tmp_path):
+    """Same on-disk format: each backend opens the other's database."""
+    codes = [(index * 211 + 17) % 9973 for index in range(40)]
+    for writer_name, writer_cls in BACKENDS:
+        reader_cls = dict(BACKENDS)[
+            "mmap" if writer_name == "ostore" else "ostore"
+        ]
+        directory = os.path.join(tmp_path, writer_name)
+        os.makedirs(directory)
+        path = os.path.join(directory, "db.pages")
+        sm = writer_cls(path=path, buffer_pages=POOL_PAGES)
+        db = LabBase(sm)
+        _run_workload(db, codes)
+        expected = _answers(db)
+        sm.close()
+
+        reopened = reader_cls(path=path, buffer_pages=POOL_PAGES)
+        reopened.verify().raise_if_bad()
+        assert _answers(LabBase(reopened)) == expected
+        reopened.close()

@@ -15,12 +15,20 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.labbase import LabBase
-from repro.storage import ObjectStoreSM, OStoreMM, TexasSM, TexasTCSM, TexasMM
+from repro.storage import (
+    MMapStoreSM,
+    ObjectStoreSM,
+    OStoreMM,
+    TexasSM,
+    TexasTCSM,
+    TexasMM,
+)
 
 PERSISTENT = [
     ("ostore", ObjectStoreSM),
     ("texas", TexasSM),
     ("texas_tc", TexasTCSM),
+    ("mmap", MMapStoreSM),
 ]
 STATES = ("arrived", "assayed", "filed")
 

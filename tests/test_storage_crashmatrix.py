@@ -45,10 +45,13 @@ from repro.storage import (
     TexasTCSM,
     TexasMM,
 )
+from repro.storage.registry import backends
 
 N_COMMITS = 25
 
-PERSISTENT_CLASSES = [ObjectStoreSM, TexasSM, TexasTCSM]
+# Every registered backend that declares crash-matrix support sweeps
+# the matrix — the capability flag, not a hand-kept list, decides.
+PERSISTENT_CLASSES = [info.cls for info in backends(crash_matrix=True)]
 
 
 def _stride() -> int:
