@@ -9,8 +9,8 @@ fault every page — and pins that the *logical* work is identical: same
 object reads, same faults, same write traffic, with only ``mapped_reads``
 separating the two.
 
-No committed baseline gates A7 yet (the backend is new); the artefact
-records the first trajectory points.
+``repro bench record --schemas A7`` canonicalizes the artefact into the
+committed ``BENCH_A7.json``, which CI gates with ``bench compare``.
 """
 
 from __future__ import annotations
@@ -92,6 +92,7 @@ def _run(cls) -> dict:
         "page_writes": warm["page_writes"],
         "cold_major_faults": cold["major_faults"],
         "cold_objects_read": cold["objects_read"],
+        "cold_page_reads": cold["page_reads"],
         "warm_mapped_reads": warm["mapped_reads"],
         "cold_mapped_reads": cold["mapped_reads"],
     }

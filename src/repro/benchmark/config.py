@@ -18,6 +18,7 @@ from dataclasses import dataclass, replace
 
 from repro.errors import ConfigError
 from repro.storage.buffer import DEFAULT_READAHEAD_PAGES
+from repro.storage.codec import CODEC_NAMES, DEFAULT_CODEC
 from repro.storage.objcache import DEFAULT_CACHE_OBJECTS
 from repro.storage.registry import backend_names
 
@@ -58,6 +59,10 @@ class BenchmarkConfig:
     #: disables vectored commit writes — the single batched-I/O switch.
     #: Database bytes and query answers are identical either way.
     readahead: int = DEFAULT_READAHEAD_PAGES
+    #: record codec (ablation A8): "labf" = schema-aware fixed layouts
+    #: with pickle fallback, "pickle" = every record as a legacy pickle.
+    #: Query answers are identical either way; bytes and speed are not.
+    codec: str = DEFAULT_CODEC
     #: directory for database files; None = in-memory page files
     db_dir: str | None = None
 
@@ -82,6 +87,10 @@ class BenchmarkConfig:
             raise ConfigError("object_cache must be >= 0 (0 disables it)")
         if self.readahead < 0:
             raise ConfigError("readahead must be >= 0 (0 disables batched I/O)")
+        if self.codec not in CODEC_NAMES:
+            raise ConfigError(
+                f"unknown codec {self.codec!r} (choose from {CODEC_NAMES})"
+            )
         if self.blast_mean_hits < 0 or self.blast_max_hits < self.blast_mean_hits:
             raise ConfigError("invalid BLAST hit-list sizing")
 

@@ -72,6 +72,9 @@ def render_stats(
         "prefetch_hits",
         "io_batches",
         "mapped_reads",
+        "records_fast_path",
+        "records_fallback",
+        "intern_table_size",
         "meta_bytes_written",
         "swizzle_operations",
         "objects_read",

@@ -26,7 +26,7 @@ class ServerSpec:
     name: str
     persistent: bool
     description: str
-    _factory: Callable[[str | None, int, int], StorageManager]
+    _factory: Callable[[str | None, int, int, str], StorageManager]
 
     def make(self, config: BenchmarkConfig) -> StorageManager:
         """Construct the storage manager per the benchmark config."""
@@ -35,7 +35,9 @@ class ServerSpec:
             os.makedirs(config.db_dir, exist_ok=True)
             filename = self.name.replace("+", "_").lower() + ".db"
             path = os.path.join(config.db_dir, filename)
-        return self._factory(path, config.buffer_pages, config.readahead)
+        return self._factory(
+            path, config.buffer_pages, config.readahead, config.codec
+        )
 
 
 def make_db(spec: "ServerSpec", config: BenchmarkConfig) -> tuple[StorageManager, LabBase]:

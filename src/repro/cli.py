@@ -11,7 +11,7 @@
     python -m repro shell DBFILE
     python -m repro serve [DBFILE] [--server NAME] [--port P] [--smoke N]
     python -m repro monitor --port P [--samples N] [--interval SEC]
-    python -m repro bench record [--schemas A4 A5 A6]
+    python -m repro bench record [--schemas A4 A5 A6 A7 A8]
     python -m repro bench compare --baseline BENCH_A4.json ... [--tolerance T]
     python -m repro verify DBFILE [--server OStore]
     python -m repro recover DBFILE [--server OStore]
@@ -118,6 +118,16 @@ def _add_readahead_flag(parser) -> None:
     )
 
 
+def _add_codec_flag(parser) -> None:
+    from repro.storage.codec import CODEC_NAMES, DEFAULT_CODEC
+
+    parser.add_argument(
+        "--codec", choices=CODEC_NAMES, default=DEFAULT_CODEC,
+        help="record codec (A8 knob): labf = schema-aware fixed layouts "
+             "with pickle fallback (default), pickle = legacy pickles",
+    )
+
+
 def _config(args) -> BenchmarkConfig:
     return BenchmarkConfig(
         clones_per_interval=args.clones,
@@ -125,6 +135,7 @@ def _config(args) -> BenchmarkConfig:
         db_dir=args.db_dir,
         object_cache=args.object_cache,
         readahead=args.readahead,
+        codec=args.codec,
     )
 
 
@@ -232,7 +243,7 @@ def cmd_replay(args) -> int:
     with open(args.trace) as fp:
         trace = Trace.load(fp)
     config = BenchmarkConfig(db_dir=args.db_dir, object_cache=args.object_cache,
-                             readahead=args.readahead)
+                             readahead=args.readahead, codec=args.codec)
     sm = server_spec(args.server).make(config)
     db = LabBase(sm, object_cache=config.object_cache)
     meter = ResourceMeter(fault_source=sm.stats)
@@ -322,7 +333,7 @@ def cmd_serve(args) -> int:
     from repro.storage.report import stats_report
 
     sm = backend(args.server).cls(  # type: ignore[call-arg]
-        path=args.db, checkpoint_every=args.checkpoint_every
+        path=args.db, checkpoint_every=args.checkpoint_every, codec=args.codec
     )
     db = LabBase(sm)
     bootstrap_schema(db)
@@ -500,6 +511,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="directory for database files (default: in-memory)")
         _add_object_cache_flag(p)
         _add_readahead_flag(p)
+        _add_codec_flag(p)
 
     p = sub.add_parser("compare", help="the Section 10 five-server table")
     add_scale(p)
@@ -539,6 +551,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--db-dir", default=None)
     _add_object_cache_flag(p)
     _add_readahead_flag(p)
+    _add_codec_flag(p)
     p.set_defaults(func=cmd_replay)
 
     from repro.storage.registry import backends
@@ -587,6 +600,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="one storage commit per update unit")
     p.add_argument("--checkpoint-every", type=int, default=1,
                    help="checkpoint cadence in commits (default 1)")
+    _add_codec_flag(p)
     p.add_argument("--smoke", type=int, default=0, metavar="N",
                    help="run N scripted concurrent clients, verify, and exit")
     p.add_argument("--units", type=int, default=24,
@@ -620,8 +634,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="bench results directory (default benchmarks/results)")
     bp.add_argument("--out", default=".",
                     help="where the BENCH_*.json files go (default: repo root)")
-    bp.add_argument("--schemas", nargs="*", default=["A4", "A5", "A6"],
-                    choices=["A4", "A5", "A6"],
+    bp.add_argument("--schemas", nargs="*",
+                    default=["A4", "A5", "A6", "A7", "A8"],
+                    choices=["A4", "A5", "A6", "A7", "A8"],
                     help="baseline schemas to record (default: all)")
     bp.set_defaults(func=cmd_bench)
     bp = bench_sub.add_parser(

@@ -96,6 +96,17 @@ class LabBase:
         else:
             capacity = int(object_cache)
         self._store = ObjectCache(sm, capacity=capacity)
+        # Commit-batched most-recent index: while a unit of work is
+        # buffering, record_step accumulates each material's candidate
+        # index winners here (attribute -> [valid_time, step_oid,
+        # inlined, value]) instead of folding them into the hot record
+        # per step; the cache's flush listener installs them exactly
+        # once, at the head of the commit drain.
+        self._pending_recent: dict[int, dict[str, list]] = {}
+        self._store.set_unit_listeners(
+            flush=self._install_pending_recent,
+            discard=self._pending_recent.clear,
+        )
         for name, description in SEGMENT_PLAN:
             sm.create_segment(name, description)
         seg = self.segment_arg
@@ -295,12 +306,31 @@ class LabBase:
             step, segment=self.segment_arg(SEG_HISTORY)
         )
 
+        buffering = self._store.in_transaction
         for material_oid in involved:
             material = self.material(material_oid)
             self.history.append(material, step_oid)
             if self.use_most_recent_index:
-                for attr, value in results.items():
-                    model.update_recent(material, attr, valid_time, step_oid, value)
+                if buffering:
+                    # Fold this step's results into the pending winners
+                    # (same rule as model.update_recent: most-recent by
+                    # valid time, ties to the later insert).  The hot
+                    # record is still written — the history head moved —
+                    # but its index is touched once per commit, not
+                    # once per step.
+                    pending = self._pending_recent.setdefault(material_oid, {})
+                    for attr, value in results.items():
+                        entry = pending.get(attr)
+                        if entry is None or valid_time >= entry[0]:
+                            if model.is_inlineable(value):
+                                pending[attr] = [valid_time, step_oid, True, value]
+                            else:
+                                pending[attr] = [valid_time, step_oid, False, None]
+                else:
+                    for attr, value in results.items():
+                        model.update_recent(
+                            material, attr, valid_time, step_oid, value
+                        )
             self._store.write(material_oid, material)
 
         self.catalog.step_counts[class_name] = (
@@ -319,6 +349,46 @@ class LabBase:
             raise UnknownMaterialError(f"oid {oid} is not a step")
         return record
 
+    # -- commit-batched most-recent index ------------------------------------
+
+    def _install_recent(self, material_oid: int, material: dict) -> bool:
+        """Fold one material's pending index winners into its record.
+
+        Applying the accumulated winner with ``update_recent``'s rule
+        (install when ``valid_time >= current``) yields exactly the
+        entry — and the key insertion order — the per-step path would
+        have produced: the fold is associative, and a pending attribute
+        always enters the record in first-candidate order.
+        """
+        pending = self._pending_recent.pop(material_oid, None)
+        if not pending:
+            return False
+        recent = material["recent"]
+        for attr, entry in pending.items():
+            current = recent.get(attr)
+            if current is None or entry[0] >= current[0]:
+                recent[attr] = entry
+        return True
+
+    def _install_pending_recent(self) -> None:
+        """Install every pending winner (the cache's flush listener).
+
+        Runs at the head of every unit-of-work drain, in material-oid
+        order, so the installed records join the same deterministic
+        oid-ordered write sequence the unbatched path produced.
+        """
+        for material_oid in sorted(self._pending_recent):
+            # The unit that buffered the winners also wrote the material
+            # (the history append dirties it), so the dirty peek avoids
+            # billing a logical read for pure install bookkeeping.  The
+            # read fallback covers a mid-transaction lock hand-off that
+            # evicted the dirty entry.
+            material = self._store.peek_dirty(material_oid)
+            if material is None:
+                material = self._store.read(material_oid)
+            if self._install_recent(material_oid, material):
+                self._store.write(material_oid, material)
+
     def retract_step(self, step_oid: int) -> None:
         """Remove a step from the event history (correction of a mistake).
 
@@ -331,6 +401,10 @@ class LabBase:
             material = self.material(material_oid)
             if self.history.remove_step(material, step_oid):
                 if self.use_most_recent_index:
+                    # Pending winners may name the retracted step; the
+                    # rebuild recomputes from the full history (which
+                    # subsumes every pending candidate), so they drop.
+                    self._pending_recent.pop(material_oid, None)
                     self.history.rebuild_recent(material)
                 self._store.write(material_oid, material)
         version = self.catalog.step_version(step["class_version"])
@@ -375,6 +449,11 @@ class LabBase:
             if found is None:
                 raise UnknownAttributeError(f"material {material_oid}", attribute)
             return found[2]
+        # A mid-unit query sees its own writes: materialize the pending
+        # winners first.  The write buffers with the unit's others, so
+        # this adds no storage write the commit would not issue anyway.
+        if self._pending_recent and self._install_recent(material_oid, material):
+            self._store.write(material_oid, material)
         entry = model.recent_entry(material, attribute)
         if entry is None:
             raise UnknownAttributeError(f"material {material_oid}", attribute)
@@ -444,6 +523,8 @@ class LabBase:
         """
         material = self.material(material_oid)
         if self.use_most_recent_index:
+            if self._pending_recent and self._install_recent(material_oid, material):
+                self._store.write(material_oid, material)
             return {
                 attr: self.most_recent(material_oid, attr)
                 for attr in material["recent"]
@@ -520,6 +601,7 @@ class LabBase:
 
     def iter_materials(self) -> Iterator[tuple[int, dict]]:
         """Every material record (storage scan; not a benchmark op)."""
+        self._install_pending_recent()
         for oid in self._store.oids():
             record = self._store.read(oid)
             if isinstance(record, dict) and record.get("kind") == model.KIND_MATERIAL:

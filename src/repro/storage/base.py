@@ -54,6 +54,7 @@ from repro.storage.page import (
 )
 from repro.storage.segment import DEFAULT_SEGMENT, Segment
 from repro.storage import serializer
+from repro.storage.codec import DEFAULT_CODEC, RecordCodec
 from repro.storage.stats import StorageStats
 from repro.util.ids import OidAllocator
 
@@ -80,6 +81,7 @@ class PagedStorageManager(StorageManager):
         checkpoint_every: int = 0,
         fault_injector: FaultInjector | None = None,
         readahead_pages: int = DEFAULT_READAHEAD_PAGES,
+        codec: str = DEFAULT_CODEC,
     ) -> None:
         """``checkpoint_every``: persist metadata every N commits
         (0 = only on close/explicit checkpoint).  Data pages are always
@@ -96,10 +98,19 @@ class PagedStorageManager(StorageManager):
         then one page, the pre-batching behaviour).  Batching changes
         how pages travel, never which bytes land where: database files
         are bit-identical either way.
+
+        ``codec``: record wire format, ``"labf"`` (schema-aware fast
+        paths, the default) or ``"pickle"`` (the legacy raw pickle).
+        Reads dispatch on the record's own tag byte, so either setting
+        opens databases written under the other.
         """
         if readahead_pages < 0:
             raise ValueError("readahead_pages must be >= 0")
         self.stats = StorageStats()
+        # The codec is created before the meta blob is restored: the
+        # blob carries the attribute-name intern table the codec needs
+        # to decode fast-path records.
+        self._codec = RecordCodec(codec, self.stats)
         self.checkpoint_every = checkpoint_every
         self._commits_since_checkpoint = 0
         self._charge = charge_policy
@@ -196,10 +207,14 @@ class PagedStorageManager(StorageManager):
             "directory": dict(self._directory),
             "roots": dict(self._roots),
             "segments": [seg.to_meta() for seg in self._segments.values()],
+            "intern": self._codec.intern_names(),
         }
 
     def _restore_meta(self, meta: dict) -> None:
         self._meta_epoch = meta.get("epoch", 0)
+        # Pre-codec meta blobs carry no intern table; an empty one is
+        # right for them (their records are all raw pickles).
+        self._codec.restore_intern(meta.get("intern", ()))
         self._oid_alloc = OidAllocator(start=meta["oid_high"])
         self._page_alloc = OidAllocator(start=meta["page_high"])
         self._directory = dict(meta["directory"])
@@ -370,7 +385,7 @@ class PagedStorageManager(StorageManager):
     def allocate_write(self, obj: object, segment: str | None = None) -> int:
         self._check_open()
         seg = self._resolve_segment(segment)
-        payload = serializer.serialize(obj)
+        payload = self._codec.encode(obj)
         oid = self._oid_alloc.allocate()
         self._journal_dir(oid)
         self._directory[oid] = self._store_payload(payload, seg)
@@ -381,7 +396,7 @@ class PagedStorageManager(StorageManager):
     def write(self, oid: int, obj: object) -> None:
         self._check_open()
         entry = self._entry(oid)
-        payload = serializer.serialize(obj)
+        payload = self._codec.encode(obj)
         charged = self._charge(len(payload))
         # Fast path: small record replaced in place on its current page.
         if entry[0] != "L" and charged <= MAX_RECORD_BYTES:
@@ -413,7 +428,7 @@ class PagedStorageManager(StorageManager):
             payload = self._pool.fetch(page_id).read(slot)
         self.stats.objects_read += 1
         self.stats.bytes_read += len(payload)
-        return serializer.deserialize(payload)
+        return self._codec.decode(payload)
 
     def exists(self, oid: int) -> bool:
         self._check_open()
@@ -590,6 +605,20 @@ class PagedStorageManager(StorageManager):
         """Epoch of the last durable metadata checkpoint (0 = none)."""
         return self._meta_epoch
 
+    @property
+    def codec_name(self) -> str:
+        """The record codec new writes use (``"labf"`` or ``"pickle"``)."""
+        return self._codec.mode
+
+    def decode_record(self, payload: "bytes | bytearray | memoryview") -> object:
+        """Decode one raw record payload (any codec era).
+
+        The public decode surface for tools that read slots directly —
+        the integrity checker and size accounting — so they never reach
+        into the manager's codec state.
+        """
+        return self._codec.decode(payload)
+
     # -- accounting ------------------------------------------------------------------
 
     def size_bytes(self) -> int:
@@ -696,14 +725,26 @@ class PagedStorageManager(StorageManager):
             entry = self._directory[oid]
             locations = entry[1] if entry[0] == "L" else [entry]
             intact = True
+            chunks = []
             for page_id, slot in locations:
                 try:
-                    self._pool.fetch(page_id).read(slot)
+                    chunks.append(self._pool.fetch(page_id).read(slot))
                 except StorageError:
                     # Unreadable means dangling: the slot was moved or
                     # deleted by a post-checkpoint commit the crash ate.
                     intact = False
                     break
+            if intact:
+                # The slots are readable, but the payload must also
+                # *decode* under the checkpointed intern table: a record
+                # flushed after the checkpoint may reference intern ids
+                # (or pickle shapes) the crash never made durable.
+                try:
+                    self._codec.decode(
+                        chunks[0] if len(chunks) == 1 else b"".join(chunks)
+                    )
+                except StorageError:
+                    intact = False
             if not intact:
                 del self._directory[oid]
                 dropped += 1

@@ -6,7 +6,7 @@ benchmark cost is storage management versus everything else (LabBase
 logic, query evaluation).
 
 Objects are still validated as plain data and *copied* on write/read
-(via serialize/deserialize), so a main-memory store cannot silently share
+(through the record codec), so a main-memory store cannot silently share
 mutable state with the application — the same isolation the page-based
 stores give.  No pages, no faults, and no database file: ``size_bytes``
 is 0, matching the "-" entries in the paper's size column.
@@ -21,8 +21,8 @@ from repro.errors import (
     TransactionError,
     UnknownOidError,
 )
-from repro.storage import serializer
 from repro.storage.base import StorageManager
+from repro.storage.codec import DEFAULT_CODEC, RecordCodec
 from repro.storage.registry import register_backend
 from repro.storage.segment import DEFAULT_SEGMENT
 from repro.storage.stats import StorageStats
@@ -40,8 +40,9 @@ class MainMemorySM(StorageManager):
     supports_concurrency = False
     persistent = False
 
-    def __init__(self) -> None:
+    def __init__(self, codec: str = DEFAULT_CODEC) -> None:
         self.stats = StorageStats()
+        self._codec = RecordCodec(codec, self.stats)
         self._objects: dict[int, bytes] = {}
         self._roots: dict[str, int] = {}
         self._segments: set[str] = {DEFAULT_SEGMENT}
@@ -70,7 +71,7 @@ class MainMemorySM(StorageManager):
 
     def allocate_write(self, obj: object, segment: str | None = None) -> int:
         self._check_open()
-        payload = serializer.serialize(obj)
+        payload = self._codec.encode(obj)
         oid = self._oid_alloc.allocate()
         self._journal(oid)
         self._objects[oid] = payload
@@ -82,7 +83,7 @@ class MainMemorySM(StorageManager):
         self._check_open()
         if oid not in self._objects:
             raise UnknownOidError(oid)
-        payload = serializer.serialize(obj)
+        payload = self._codec.encode(obj)
         self._journal(oid)
         self._objects[oid] = payload
         self.stats.objects_written += 1
@@ -96,7 +97,7 @@ class MainMemorySM(StorageManager):
             raise UnknownOidError(oid) from None
         self.stats.objects_read += 1
         self.stats.bytes_read += len(payload)
-        return serializer.deserialize(payload)
+        return self._codec.decode(payload)
 
     def exists(self, oid: int) -> bool:
         self._check_open()
@@ -175,6 +176,11 @@ class MainMemorySM(StorageManager):
         self.stats.aborts += 1
 
     # -- accounting ---------------------------------------------------------------
+
+    @property
+    def codec_name(self) -> str:
+        """The record codec writes use (``"labf"`` or ``"pickle"``)."""
+        return self._codec.mode
 
     def size_bytes(self) -> int:
         self._check_open()

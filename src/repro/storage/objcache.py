@@ -45,7 +45,7 @@ hooks above cover every *other* mutation path.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import TYPE_CHECKING, Iterator
+from typing import TYPE_CHECKING, Callable, Iterator
 
 from repro.errors import TransactionError
 
@@ -87,6 +87,8 @@ class ObjectCache:
         self._clean: OrderedDict[int, object] = OrderedDict()
         self._dirty: dict[int, object] = {}
         self._in_txn = False
+        self._flush_listener: Callable[[], None] | None = None
+        self._discard_listener: Callable[[], None] | None = None
         sm.attach_cache(self)
 
     # -- introspection -------------------------------------------------------
@@ -138,6 +140,16 @@ class ObjectCache:
         self._sm.stats.cache_misses += 1
         self._admit(oid, obj)
         return obj
+
+    def peek_dirty(self, oid: int) -> object | None:
+        """The unit's buffered value for ``oid``, or ``None``.
+
+        Unlike :meth:`read` this touches no counters and no LRU state:
+        it serves bookkeeping *within* the unit (the commit-batched
+        most-recent install re-visits objects the unit itself already
+        wrote), which is not a logical object access.
+        """
+        return self._dirty.get(oid)
 
     def write(self, oid: int, obj: object) -> None:
         """Record a new value for ``oid``.
@@ -230,10 +242,34 @@ class ObjectCache:
         Returns the number of writes discarded.  Nothing reaches the
         storage manager — the unit never happened.
         """
+        if self._discard_listener is not None:
+            self._discard_listener()
         dropped = len(self._dirty)
         self._dirty.clear()
         self._in_txn = False
         return dropped
+
+    # -- unit listeners ------------------------------------------------------
+
+    def set_unit_listeners(
+        self,
+        flush: Callable[[], None] | None = None,
+        discard: Callable[[], None] | None = None,
+    ) -> None:
+        """Register callbacks around the unit-of-work boundary.
+
+        ``flush`` fires at the start of every :meth:`flush`, *before*
+        the dirty set is drained — writes the listener issues join the
+        same oid-ordered drain.  LabBase uses it to install its
+        commit-batched most-recent index winners so they land in the
+        exact write sequence the unbatched path would have produced.
+        ``discard`` fires whenever buffered state is dropped without
+        writing (:meth:`discard_unit`, :meth:`invalidate`), so the
+        listener's pending state dies with the dirty entries it
+        belonged to.
+        """
+        self._flush_listener = flush
+        self._discard_listener = discard
 
     # -- cache maintenance ---------------------------------------------------
 
@@ -241,8 +277,12 @@ class ObjectCache:
         """Serialize and write every dirty object, in oid order.
 
         Returns the number of objects written.  Idempotent; called by
-        the storage manager's commit/begin hooks.
+        the storage manager's commit/begin hooks.  The flush listener
+        (if any) runs first, so state it installs drains in the same
+        pass.
         """
+        if self._flush_listener is not None:
+            self._flush_listener()
         if not self._dirty:
             return 0
         dirty, self._dirty = self._dirty, {}
@@ -271,6 +311,8 @@ class ObjectCache:
         Used after abort/recover, where in-memory objects may hold
         states the storage manager just rolled back.
         """
+        if self._discard_listener is not None:
+            self._discard_listener()
         self._dirty.clear()
         self._clean.clear()
 

@@ -24,6 +24,7 @@ from repro.storage.base import PagedStorageManager
 if TYPE_CHECKING:
     from repro.storage.faultinject import FaultInjector
 from repro.storage.buffer import DEFAULT_POOL_PAGES, DEFAULT_READAHEAD_PAGES
+from repro.storage.codec import DEFAULT_CODEC
 from repro.storage.locks import LockGrant, LockManager, LockMode
 from repro.storage.page import exact_charge
 from repro.storage.registry import register_backend
@@ -49,6 +50,7 @@ class ObjectStoreSM(PagedStorageManager):
         checkpoint_every: int = 0,
         fault_injector: FaultInjector | None = None,
         readahead_pages: int = DEFAULT_READAHEAD_PAGES,
+        codec: str = DEFAULT_CODEC,
     ) -> None:
         super().__init__(
             path=path,
@@ -57,6 +59,7 @@ class ObjectStoreSM(PagedStorageManager):
             checkpoint_every=checkpoint_every,
             fault_injector=fault_injector,
             readahead_pages=readahead_pages,
+            codec=codec,
         )
         self._lock_manager = LockManager(self.stats)
         self._clients: set[str] = set()

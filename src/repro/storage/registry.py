@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.errors import StorageError, UnknownBackendError
+from repro.storage.codec import DEFAULT_CODEC
 from repro.storage.contract import StorageManager
 
 #: Module paths probed for ``@register_backend`` decorations.  These are
@@ -73,20 +74,26 @@ class BackendInfo:
         return bool(self.cls.supports_crash_matrix)
 
     def make(
-        self, path: str | None, buffer_pages: int, readahead_pages: int
+        self,
+        path: str | None,
+        buffer_pages: int,
+        readahead_pages: int,
+        codec: str = DEFAULT_CODEC,
     ) -> StorageManager:
-        """Construct the backend with the benchmark's three knobs.
+        """Construct the backend with the benchmark's knobs.
 
-        Main-memory backends take no knobs (no file, no pool); paged
-        backends share the ``(path, buffer_pages, readahead_pages)``
-        constructor surface the benchmark config threads through.
+        Main-memory backends take no file and no pool, only the codec;
+        paged backends share the ``(path, buffer_pages,
+        readahead_pages, codec)`` constructor surface the benchmark
+        config threads through.
         """
         if not self.persistent:
-            return self.cls()
+            return self.cls(codec=codec)  # type: ignore[call-arg]
         return self.cls(  # type: ignore[call-arg]
             path=path,
             buffer_pages=buffer_pages,
             readahead_pages=readahead_pages,
+            codec=codec,
         )
 
 
@@ -187,6 +194,7 @@ def create(
     path: str | None = None,
     buffer_pages: int | None = None,
     readahead_pages: int | None = None,
+    codec: str = DEFAULT_CODEC,
 ) -> StorageManager:
     """Factory: construct a backend by name with benchmark-style knobs.
 
@@ -199,4 +207,5 @@ def create(
         path,
         DEFAULT_POOL_PAGES if buffer_pages is None else buffer_pages,
         DEFAULT_READAHEAD_PAGES if readahead_pages is None else readahead_pages,
+        codec,
     )

@@ -26,6 +26,21 @@ _PLAIN_SCALARS = (type(None), bool, int, float, str, bytes)
 def validate_plain_data(obj: object, _depth: int = 0) -> None:
     """Raise :class:`StorageError` unless ``obj`` is plain data.
 
+    The accepted grammar, exactly:
+
+    * scalars — ``None``, ``bool``, ``int``, ``float``, ``str`` and
+      ``bytes`` (subclasses included — they survive a pickle round-trip
+      as their subclass, which is all the storage contract promises);
+    * containers — ``list``, ``tuple``, ``dict``, ``set`` and
+      ``frozenset`` of plain data, nested at most 100 levels deep.
+
+    Dict keys may be any *hashable* plain data, which lets container
+    keys (tuples, frozensets of plain data) through.  Note that ``set``
+    and ``frozenset`` iteration order — and therefore their encoded
+    bytes — follows the process hash seed for ``str``/``bytes``
+    elements: records that must encode bit-identically across processes
+    should store sorted lists instead.
+
     Depth is bounded to catch pathological self-referencing structures
     before pickle recurses into them.
     """
@@ -53,8 +68,13 @@ def serialize(obj: object) -> bytes:
     return pickle.dumps(obj, protocol=4)
 
 
-def deserialize(payload: bytes) -> object:
-    """Decode bytes produced by :func:`serialize`."""
+def deserialize(payload: "bytes | bytearray | memoryview") -> object:
+    """Decode bytes produced by :func:`serialize`.
+
+    Accepts any bytes-like payload — ``memoryview`` included, so the
+    mmap read path can unpickle straight from a mapped page slot
+    without materializing an intermediate ``bytes`` copy.
+    """
     try:
         return pickle.loads(payload)
     # Corrupt payloads raise whatever opcode pickle trips over
@@ -65,5 +85,11 @@ def deserialize(payload: bytes) -> object:
 
 
 def record_size(obj: object) -> int:
-    """Serialized size of an object, in bytes."""
-    return len(serialize(obj))
+    """Serialized size of an object, in bytes.
+
+    Sizing is measurement, not admission: every caller sizes records it
+    already validated (or is about to store through :func:`serialize`),
+    so this deliberately skips the ``validate_plain_data`` walk rather
+    than paying it twice per record.
+    """
+    return len(pickle.dumps(obj, protocol=4))

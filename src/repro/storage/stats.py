@@ -38,6 +38,9 @@ class StorageStats:
     prefetch_hits: int = 0       # read-ahead: faults absorbed by staged pages
     io_batches: int = 0          # vectored disk transfers (>= 2 pages each)
     mapped_reads: int = 0        # mmap backend: demand reads served zero-copy
+    records_fast_path: int = 0   # codec: records encoded via a fixed layout
+    records_fallback: int = 0    # codec: records encoded via the pickle fallback
+    intern_table_size: int = 0   # codec: attribute names in the intern table
     meta_bytes_written: int = 0  # checkpoint blob bytes physically written
     group_commits: int = 0       # server: storage commits closing a group
     sessions_per_group: int = 0  # server: session-units fused into those groups
@@ -90,6 +93,21 @@ class StorageStats:
         if writes == 0:
             return 0.0
         return self.cache_coalesced / writes
+
+    @property
+    def fast_path_ratio(self) -> float:
+        """Records encoded via a fixed layout, over all records encoded."""
+        encoded = self.records_fast_path + self.records_fallback
+        if encoded == 0:
+            return 0.0
+        return self.records_fast_path / encoded
+
+    @property
+    def mapped_read_ratio(self) -> float:
+        """Demand reads served zero-copy from the map, per page read."""
+        if self.page_reads == 0:
+            return 0.0
+        return self.mapped_reads / self.page_reads
 
     @property
     def group_width(self) -> float:

@@ -28,6 +28,7 @@ from repro.storage.base import PagedStorageManager
 if TYPE_CHECKING:
     from repro.storage.faultinject import FaultInjector
 from repro.storage.buffer import DEFAULT_POOL_PAGES, DEFAULT_READAHEAD_PAGES
+from repro.storage.codec import DEFAULT_CODEC
 from repro.storage.page import Page, power_of_two_charge
 from repro.storage.registry import register_backend
 
@@ -57,6 +58,7 @@ class TexasSM(PagedStorageManager):
         checkpoint_every: int = 0,
         fault_injector: FaultInjector | None = None,
         readahead_pages: int = DEFAULT_READAHEAD_PAGES,
+        codec: str = DEFAULT_CODEC,
     ) -> None:
         super().__init__(
             path=path,
@@ -65,6 +67,7 @@ class TexasSM(PagedStorageManager):
             checkpoint_every=checkpoint_every,
             fault_injector=fault_injector,
             readahead_pages=readahead_pages,
+            codec=codec,
         )
         self._client: str | None = None
 

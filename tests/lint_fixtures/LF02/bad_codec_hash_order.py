@@ -1,0 +1,16 @@
+# module: repro.storage.codec
+"""Violation: hash-order iteration inside the record codec.
+
+The codec writes the bytes the crash matrix replays and the
+bit-identity properties compare; interning attribute names in set
+order would make two identical runs produce different intern ids and
+therefore different files.
+"""
+
+
+def intern_all(names):
+    pending = set(names)
+    table = {}
+    for name in pending:  # hash order decides intern ids
+        table[name] = len(table)
+    return table

@@ -57,9 +57,12 @@ def test_memory_versions_report_no_size_or_faults(comparison):
 
 
 def test_texas_database_larger(comparison):
+    # Strictly larger, not a fixed multiple: the schema-aware codec packs
+    # records densely enough that power-of-two charging's waste over the
+    # exact-charge OStore narrows well below the pickle-era 1.2x floor.
     ostore = comparison.run_for("OStore").intervals[-1].usage.size_bytes
     texas = comparison.run_for("Texas").intervals[-1].usage.size_bytes
-    assert texas > ostore * 1.2
+    assert texas > ostore
 
 
 def test_database_grows_across_intervals(comparison):

@@ -103,7 +103,15 @@ def test_context_manager_releases():
 
 
 def _two_materials_on_distinct_pages(db, clock):
-    """Create materials until two of them live on different pages."""
+    """Create materials until two of them live on different pages.
+
+    These locking scenarios need record geometry that stays put: the
+    records must remain on the pages the sessions lock, so the stores
+    under test open with ``codec="pickle"`` (pickle's looser packing
+    leaves every page slack for in-place growth; the schema-aware codec
+    packs materials so densely that the update inside ``record_step``
+    would relocate the record to a page nobody locked).
+    """
     sm = db.storage
     oids = [db.create_material("clone", f"m-{i}", clock.tick())
             for i in range(80)]
@@ -119,7 +127,7 @@ def test_record_step_locks_in_oid_order_no_livelock():
     their first material each, fail on the second, and leak the first —
     a livelock on retry.  Sorted acquisition makes the loser fail on its
     FIRST lock, holding nothing, so the winner's retry succeeds."""
-    db, clock, _oid = _lab(ObjectStoreSM())
+    db, clock, _oid = _lab(ObjectStoreSM(codec="pickle"))
     a, b = _two_materials_on_distinct_pages(db, clock)
     manager = SessionManager(db)
     s1 = manager.open_session("s1")
@@ -141,7 +149,7 @@ def test_record_step_locks_in_oid_order_no_livelock():
 def test_failed_multi_lock_releases_only_newly_acquired():
     """A partial acquisition must give back what it just took — but not
     locks the session already held before the call."""
-    db, clock, _oid = _lab(ObjectStoreSM())
+    db, clock, _oid = _lab(ObjectStoreSM(codec="pickle"))
     a, b = _two_materials_on_distinct_pages(db, clock)
     manager = SessionManager(db)
     s1 = manager.open_session("s1")
@@ -169,7 +177,7 @@ def test_failed_upgrade_downgrades_back_to_shared():
     third client was wrongly refused SHARED access for the life of the
     process.  The rollback must downgrade A back to SHARED — not keep
     EXCLUSIVE, and not drop the pre-held SHARED lock either."""
-    db, clock, _oid = _lab(ObjectStoreSM())
+    db, clock, _oid = _lab(ObjectStoreSM(codec="pickle"))
     a, b = _two_materials_on_distinct_pages(db, clock)
     manager = SessionManager(db)
     s1 = manager.open_session("s1")
@@ -231,7 +239,7 @@ def test_clean_close_drains_buffered_writes():
 def test_record_step_preserves_caller_involves_order():
     """Sorting is for lock acquisition only; the stored step must keep
     the caller's involves order."""
-    db, clock, _oid = _lab(ObjectStoreSM())
+    db, clock, _oid = _lab(ObjectStoreSM(codec="pickle"))
     a, b = _two_materials_on_distinct_pages(db, clock)
     manager = SessionManager(db)
     with manager.open_session("s") as session:

@@ -308,8 +308,14 @@ def _spread_clients(service, clients, fillers=40):
 
 
 def _commit_cost(tmp_path, label, group, sessions=4, rounds=6):
+    # codec="pickle": the page-per-client spread (and the in-place record
+    # growth it relies on) needs pickle's looser packing — the schema-aware
+    # codec packs materials densely enough to share pages and relocate on
+    # update, which would manufacture lock conflicts this test must not see.
     sm = ObjectStoreSM(
-        path=os.path.join(str(tmp_path), f"{label}.pages"), checkpoint_every=1
+        path=os.path.join(str(tmp_path), f"{label}.pages"),
+        checkpoint_every=1,
+        codec="pickle",
     )
     db = LabBase(sm)
     bootstrap_schema(db)

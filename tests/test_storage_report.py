@@ -27,8 +27,11 @@ def test_labbase_layout_puts_history_in_the_big_segment():
     LabFlowWorkload(db, TINY).run_all()
     stats = segment_stats(sm)
     assert stats[0].name == SEG_HISTORY, [s.name for s in stats]
-    others = sum(s.allocated_bytes for s in stats[1:])
-    assert stats[0].allocated_bytes > others, (
+    # Compare used (record) bytes, not allocated pages: the schema-aware
+    # codec packs the TINY database tightly enough that page-granular
+    # allocation can tie, while the history *records* still dominate.
+    others = sum(s.used_bytes for s in stats[1:])
+    assert stats[0].used_bytes > others, (
         "history segment should dominate the database"
     )
     sm.close()

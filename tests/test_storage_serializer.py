@@ -78,3 +78,84 @@ def test_round_trip_property(obj):
 @given(_plain)
 def test_serialization_is_deterministic(obj):
     assert serializer.serialize(obj) == serializer.serialize(obj)
+
+
+# ---------------------------------------------------------------------------
+# the documented grammar, exactly (ISSUE 9 satellite)
+# ---------------------------------------------------------------------------
+
+
+class _IntSubclass(int):
+    pass
+
+
+class _StrSubclass(str):
+    pass
+
+
+def test_accepts_scalar_subclasses():
+    # Subclasses survive a pickle round-trip as their subclass, which is
+    # all the storage contract promises.
+    for value in (_IntSubclass(7), _StrSubclass("x"), True):
+        serializer.validate_plain_data(value)
+        restored = serializer.deserialize(serializer.serialize(value))
+        assert restored == value
+
+
+def test_accepts_frozenset_containers():
+    value = {"tags": frozenset({"a", "b"}), "sets": [frozenset({1, 2})]}
+    assert serializer.deserialize(serializer.serialize(value)) == value
+
+
+def test_accepts_container_dict_keys():
+    # Hashable plain data is a legal dict key: tuples and frozensets of
+    # plain data pass through the validator.
+    value = {
+        (1, "pair"): "tuple key",
+        frozenset({"a"}): "frozenset key",
+        ((1, 2), (3,)): "nested tuple key",
+    }
+    assert serializer.deserialize(serializer.serialize(value)) == value
+
+
+_hashable_plain = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(2**40), max_value=2**40)
+    | st.text(max_size=12)
+    | st.binary(max_size=12),
+    lambda children: st.lists(children, max_size=3).map(tuple)
+    | st.frozensets(st.integers(0, 99) | st.text(max_size=6), max_size=3),
+    max_leaves=8,
+)
+
+
+@given(st.dictionaries(_hashable_plain, _plain, max_size=4))
+def test_container_dict_keys_property(obj):
+    """Any hashable-plain-data key round-trips, per the grammar."""
+    assert serializer.deserialize(serializer.serialize(obj)) == obj
+
+
+@given(_plain)
+def test_deserialize_accepts_memoryview_and_bytearray(obj):
+    payload = serializer.serialize(obj)
+    assert serializer.deserialize(memoryview(payload)) == obj
+    assert serializer.deserialize(bytearray(payload)) == obj
+
+
+def test_memoryview_deserialize_is_zero_copy_compatible():
+    # The mmap read path hands a slice of a mapped page; a non-trivial
+    # offset view must decode without the caller materializing bytes.
+    payload = serializer.serialize({"k": list(range(50))})
+    padded = b"\xff\xff" + payload
+    view = memoryview(padded)[2:]
+    assert serializer.deserialize(view) == {"k": list(range(50))}
+
+
+def test_record_size_skips_validation():
+    # Sizing is measurement, not admission: callers size records they
+    # already validated, so record_size must not re-walk the structure.
+    unvalidated = {"obj": _NotPlain()}
+    with pytest.raises(StorageError):
+        serializer.serialize(unvalidated)
+    assert serializer.record_size(unvalidated) > 0
