@@ -19,7 +19,9 @@ comma-separated: ``# lint: ignore[LF01, LF03]``.
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
@@ -51,6 +53,16 @@ class Finding:
         return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
 
 
+@dataclass(frozen=True, order=True)
+class SuppressionSite:
+    """One ``lint: ignore[...]`` marker: where it sits, what it covers."""
+
+    path: str
+    line: int    #: the marker's own 1-based line
+    target: int  #: the line whose findings it suppresses
+    rule: str
+
+
 class SourceModule:
     """One parsed source file plus its lint-relevant derived data."""
 
@@ -61,29 +73,48 @@ class SourceModule:
         self.name = name or _module_name(path, text)
         self.tree = ast.parse(text, filename=path)
         self._suppressions: dict[int, set[str]] | None = None
+        self._sites: tuple[SuppressionSite, ...] | None = None
 
     # -- suppression ---------------------------------------------------------
 
     def suppressed_rules(self, line: int) -> set[str]:
         """Rule ids suppressed at a 1-based source line."""
         if self._suppressions is None:
-            self._suppressions = self._scan_suppressions()
+            table: dict[int, set[str]] = {}
+            for site in self.suppression_sites():
+                table.setdefault(site.target, set()).add(site.rule)
+            self._suppressions = table
         return self._suppressions.get(line, set())
 
-    def _scan_suppressions(self) -> dict[int, set[str]]:
-        table: dict[int, set[str]] = {}
-        for index, raw in enumerate(self.lines, start=1):
-            match = _SUPPRESS.search(raw)
-            if match is None:
-                continue
-            rules = {part.strip() for part in match.group(1).split(",")}
-            rules.discard("")
-            target = index
-            if raw.lstrip().startswith("#"):
-                # Comment-only line: the marker covers the line below.
-                target = index + 1
-            table.setdefault(target, set()).update(rules)
-        return table
+    def suppression_sites(self) -> tuple[SuppressionSite, ...]:
+        """Every marker in the file (``--check-ignores`` ground truth).
+
+        Only real ``COMMENT`` tokens count: a marker *mentioned* in a
+        docstring or an error-message string is documentation, not a
+        suppression — the tokenizer is what tells them apart.
+        """
+        if self._sites is None:
+            sites: list[SuppressionSite] = []
+            reader = io.StringIO(self.text).readline
+            for token in tokenize.generate_tokens(reader):
+                if token.type != tokenize.COMMENT:
+                    continue
+                match = _SUPPRESS.search(token.string)
+                if match is None:
+                    continue
+                rules = {part.strip() for part in match.group(1).split(",")}
+                rules.discard("")
+                index = token.start[0]
+                target = index
+                if not self.lines[index - 1][: token.start[1]].strip():
+                    # Comment-only line: the marker covers the line below.
+                    target = index + 1
+                sites.extend(
+                    SuppressionSite(self.path, index, target, rule)
+                    for rule in sorted(rules)
+                )
+            self._sites = tuple(sites)
+        return self._sites
 
     # -- private-name inventory (LF03's ground truth) ------------------------
 
@@ -177,8 +208,18 @@ class Rule:
         )
 
 
-def run_rules(project: Project, rules: Sequence[Rule]) -> list[Finding]:
-    """Apply rules, drop suppressed findings, return in stable order."""
+def run_rules(
+    project: Project,
+    rules: Sequence[Rule],
+    used_suppressions: set[tuple[str, int, str]] | None = None,
+) -> list[Finding]:
+    """Apply rules, drop suppressed findings, return in stable order.
+
+    When ``used_suppressions`` is given, every suppression that actually
+    swallowed a finding is recorded into it as ``(path, line, rule)`` —
+    the evidence ``--check-ignores`` subtracts from the marker inventory
+    to expose stale ignores.
+    """
     findings: list[Finding] = []
     for rule in rules:
         for found in rule.check(project):
@@ -186,8 +227,65 @@ def run_rules(project: Project, rules: Sequence[Rule]) -> list[Finding]:
                 (m for m in project if m.path == found.path), None
             )
             if module is not None and rule.id in module.suppressed_rules(found.line):
+                if used_suppressions is not None:
+                    used_suppressions.add((found.path, found.line, rule.id))
                 continue
             findings.append(found)
+    findings.sort()
+    return findings
+
+
+def stale_ignores(
+    project: Project,
+    rules: Sequence[Rule],
+    used_suppressions: set[tuple[str, int, str]],
+    known_ids: set[str] | None = None,
+) -> list[Finding]:
+    """Markers that suppress nothing, plus markers naming unknown rules.
+
+    Staleness is only judged for markers of rules in ``rules`` — a
+    marker for a rule the caller did not run may be load-bearing, and
+    silence about it is the only honest answer.  A marker naming a rule
+    outside ``known_ids`` (the full registered set) is always flagged:
+    it can never suppress anything.  Returned as ``LF00`` findings so
+    the reporters and exit codes treat dead markers like any other
+    defect.
+    """
+    selected = {rule.id for rule in rules}
+    findings = []
+    for module in project:
+        for site in module.suppression_sites():
+            if known_ids is not None and site.rule not in known_ids:
+                findings.append(
+                    Finding(
+                        path=site.path,
+                        line=site.line,
+                        col=1,
+                        rule="LF00",
+                        message=(
+                            f"unknown rule id {site.rule!r} in lint: "
+                            "ignore marker; it suppresses nothing"
+                        ),
+                    )
+                )
+                continue
+            if site.rule not in selected:
+                continue
+            if (module.path, site.target, site.rule) in used_suppressions:
+                continue
+            findings.append(
+                Finding(
+                    path=site.path,
+                    line=site.line,
+                    col=1,
+                    rule="LF00",
+                    message=(
+                        f"stale suppression: {site.rule} reports nothing "
+                        f"on line {site.target}; remove the "
+                        "lint: ignore marker or fix the rule id"
+                    ),
+                )
+            )
     findings.sort()
     return findings
 

@@ -11,7 +11,7 @@ import os
 import sys
 from typing import Sequence
 
-from repro.analysis.core import Project, SourceModule, run_rules
+from repro.analysis.core import Project, SourceModule, run_rules, stale_ignores
 from repro.analysis.report import render_json, render_text
 from repro.analysis.rules import ALL_RULES, rules_by_id
 
@@ -79,6 +79,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="print the rule table and exit",
     )
+    parser.add_argument(
+        "--check-ignores", action="store_true",
+        help="also flag lint: ignore markers that suppress nothing "
+        "(reported as LF00 findings)",
+    )
     return parser
 
 
@@ -105,7 +110,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         for error in errors:
             print(f"error: {error}", file=sys.stderr)
         return 2
-    findings = run_rules(project, rules)
+    used: set[tuple[str, int, str]] = set()
+    findings = run_rules(project, rules, used_suppressions=used)
+    if args.check_ignores:
+        findings.extend(
+            stale_ignores(
+                project, rules, used, known_ids={r.id for r in ALL_RULES}
+            )
+        )
+        findings.sort()
     renderer = render_json if args.format == "json" else render_text
     output = renderer(findings, checked_files=len(project.modules))
     sys.stdout.write(output if output.endswith("\n") else output + "\n")

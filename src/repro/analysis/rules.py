@@ -29,6 +29,17 @@ LF07 metric-registry hygiene: every gauge registered in ``repro.obs``
      ``BASELINE_SCHEMAS`` entry in ``repro.obs.baseline``, and reads
      only declared ``StorageStats`` counters; schemas must not name
      unregistered gauges
+LF08 lock-order / strict-2PL discipline over the served core: every
+     lock is registered in ``LOCK_RANKS``/``LOCK_SITES``, no
+     acquisition edge inverts the ranks or closes a cycle, releases
+     happen only on unwind/commit boundaries, rollback handlers that
+     drop page locks restore upgrades, and lock-acquiring loops
+     iterate canonically ordered sources (interprocedural; defined in
+     ``repro.analysis.concurrency``)
+LF09 shared-state confinement: mutable module globals and ``self.``
+     attributes reachable from more than one thread entry point must
+     have every access dominated by one common ``with <lock>``
+     (defined in ``repro.analysis.concurrency``)
 ==== =======================================================================
 """
 
@@ -37,6 +48,7 @@ from __future__ import annotations
 import ast
 from typing import Iterable, Iterator
 
+from repro.analysis.concurrency import CONCURRENCY_RULES
 from repro.analysis.core import (
     NAMEDTUPLE_METHODS,
     Finding,
@@ -301,8 +313,10 @@ class PrivateReachInRule(Rule):
     title = "no cross-module private-attribute access"
 
     def applies(self, module: SourceModule) -> bool:
-        return in_storage_stack(module.name) or module.name.startswith(
-            "repro.benchmark"
+        return (
+            in_storage_stack(module.name)
+            or module.name.startswith("repro.benchmark")
+            or module.name.startswith("repro.obs")
         )
 
     def check_module(
@@ -650,7 +664,9 @@ class BroadExceptRule(Rule):
     title = "storage paths must not swallow arbitrary exceptions"
 
     def applies(self, module: SourceModule) -> bool:
-        return in_storage_stack(module.name)
+        return in_storage_stack(module.name) or module.name.startswith(
+            "repro.obs"
+        )
 
     def check_module(
         self, project: Project, module: SourceModule
@@ -918,7 +934,7 @@ ALL_RULES: tuple[Rule, ...] = (
     CounterHygieneRule(),
     BroadExceptRule(),
     MetricRegistryRule(),
-)
+) + CONCURRENCY_RULES
 
 
 def rules_by_id(ids: Iterable[str] | None = None) -> tuple[Rule, ...]:

@@ -70,6 +70,11 @@ class BenchmarkConfig:
     blast_mean_hits: int = 20
     blast_max_hits: int = 120
 
+    #: refuse to run unless the static concurrency sanitizer (LF08 +
+    #: LF09) is clean on the shipped tree — a cheap pre-flight for runs
+    #: whose numbers would be worthless under a latent lock-order bug
+    sanitize: bool = False
+
     def __post_init__(self) -> None:
         if self.clones_per_interval < 1:
             raise ConfigError("clones_per_interval must be positive")

@@ -316,7 +316,137 @@ def cmd_lint(args) -> int:
         lint_argv += ["--rules", args.rules]
     if args.list_rules:
         lint_argv.append("--list-rules")
+    if args.check_ignores:
+        lint_argv.append("--check-ignores")
     return lint_main(lint_argv)
+
+
+def cmd_sanitize(args) -> int:
+    """Both sanitizer prongs in one command: static rules, then runtime.
+
+    Static: LF08 (lock-order/2PL) + LF09 (unguarded shared state) over
+    the tree.  Runtime: a watchdog-instrumented served smoke run, then a
+    bounded schedule-fuzz sweep asserting serial equivalence on every
+    registered backend.  Exit 0 only if every prong is clean.
+    """
+    import json as json_mod
+
+    from repro.analysis.core import run_rules
+    from repro.analysis.main import collect_paths, default_root, load_project
+    from repro.analysis.rules import rules_by_id
+    from repro.server.fuzz import fuzz_sweep
+
+    rules = rules_by_id(["LF08", "LF09"])
+    roots = list(args.paths) or [default_root()]
+    project, errors = load_project(collect_paths(roots))
+    if errors:
+        for error in errors:
+            print(f"error: {error}", file=sys.stderr)
+        return 2
+    static_findings = run_rules(project, rules)
+
+    smoke = None if args.no_smoke else _sanitize_smoke(
+        clients=args.smoke_clients, units=args.smoke_units
+    )
+
+    reports = [] if args.no_fuzz else fuzz_sweep(
+        args.backends.split(",") if args.backends else None,
+        seeds=tuple(range(args.seeds)),
+        sessions=args.sessions,
+        units_per_session=args.units,
+    )
+
+    fuzz_ok = all(r.identical and r.watchdog_violations == 0 for r in reports)
+    smoke_ok = smoke is None or bool(smoke["ok"])
+    ok = not static_findings and smoke_ok and fuzz_ok
+
+    if args.format == "json":
+        payload = {
+            "static": {
+                "findings": [
+                    {
+                        "path": f.path,
+                        "line": f.line,
+                        "col": f.col,
+                        "rule": f.rule,
+                        "message": f.message,
+                    }
+                    for f in static_findings
+                ],
+                "checked_files": len(project.modules),
+            },
+            "smoke": smoke,
+            "fuzz": [r.to_json() for r in reports],
+            "ok": ok,
+        }
+        print(json_mod.dumps(payload, indent=2, sort_keys=True))
+        return 0 if ok else 1
+
+    for finding in static_findings:
+        print(finding.render())
+    print(
+        f"static: {len(static_findings)} finding(s) in "
+        f"{len(project.modules)} file(s) [LF08+LF09]"
+    )
+    if smoke is not None:
+        print(
+            f"smoke:  {smoke['clients']} clients x {smoke['units']} units "
+            f"on {smoke['backend']}: "
+            f"{smoke['acquisitions']} acquisitions, "
+            f"{len(smoke['edges'])} lock-order edges, "
+            f"{len(smoke['violations'])} violation(s), "
+            f"verify {'OK' if smoke['verify_ok'] else 'FAILED'}"
+        )
+        for violation in smoke["violations"]:
+            print(f"        {violation}")
+    for r in reports:
+        status = "identical" if r.identical else "DIVERGED"
+        print(
+            f"fuzz:   {r.backend} seed={r.seed} sessions={r.sessions} "
+            f"completed={r.completed_units} {status}, "
+            f"{r.watchdog_violations} watchdog violation(s)"
+        )
+    print("sanitize: OK" if ok else "sanitize: FAILED")
+    return 0 if ok else 1
+
+
+def _sanitize_smoke(*, clients: int, units: int) -> dict:
+    """One watchdog-instrumented served run over real sockets."""
+    from repro.obs.watchdog import LockOrderWatchdog
+    from repro.server import (
+        LabFlowService,
+        ServiceRunner,
+        bootstrap_schema,
+        run_concurrent_clients,
+    )
+    from repro.storage.registry import backends
+
+    info = backends(concurrent=True)[0]
+    sm = info.cls(path=None)  # type: ignore[call-arg]
+    db = LabBase(sm)
+    bootstrap_schema(db)
+    watchdog = LockOrderWatchdog()
+    service = LabFlowService(db, retry_backoff=0.0, watchdog=watchdog)
+    runner = ServiceRunner(service, watchdog=watchdog)
+    host, port = runner.start()
+    try:
+        run_concurrent_clients(host, port, clients=clients, units=units)
+        service.drain()
+        verify_ok = db.verify_storage().ok
+    finally:
+        runner.stop()
+        sm.close()
+    digest = watchdog.summary()
+    return {
+        "backend": info.name,
+        "clients": clients,
+        "units": units,
+        "acquisitions": digest["acquisitions"],
+        "edges": digest["edges"],
+        "violations": digest["violations"],
+        "verify_ok": verify_ok,
+        "ok": bool(digest["ok"]) and verify_ok,
+    }
 
 
 def cmd_serve(args) -> int:
@@ -339,11 +469,17 @@ def cmd_serve(args) -> int:
     bootstrap_schema(db)
     trace_sink = open(args.trace, "w") if args.trace else None
     tracer = UnitTracer(sink=trace_sink) if trace_sink else None
+    watchdog = None
+    if args.sanitize:
+        from repro.obs.watchdog import LockOrderWatchdog
+
+        watchdog = LockOrderWatchdog(tracer=tracer)
     service = LabFlowService(
         db,
         group_commit=not args.no_group_commit,
         group_cap=args.group_cap,
         tracer=tracer,
+        watchdog=watchdog,
     )
     sample_sink = open(args.sample_log, "w") if args.sample_log else None
     stop_sampling = threading.Event()
@@ -359,12 +495,15 @@ def cmd_serve(args) -> int:
             target=sampling_loop, name="labflow-sampler", daemon=True
         )
         sampler_thread.start()
-    runner = ServiceRunner(service, host=args.host, port=args.port)
+    runner = ServiceRunner(
+        service, host=args.host, port=args.port, watchdog=watchdog
+    )
     host, port = runner.start()
     print(f"serving {args.db or '<in-memory>'} [{args.server}] on "
           f"{host}:{port} "
           f"(group commit {'off' if args.no_group_commit else 'on'}, "
-          f"cap {args.group_cap})")
+          f"cap {args.group_cap}"
+          f"{', lock-order watchdog on' if watchdog else ''})")
     try:
         if args.smoke:
             summary = run_concurrent_clients(
@@ -384,6 +523,18 @@ def cmd_serve(args) -> int:
                 print("verify: FAILED", file=sys.stderr)
                 return 1
             print("verify: OK")
+            if watchdog is not None:
+                digest = watchdog.summary()
+                print(
+                    f"watchdog: {digest['acquisitions']} acquisitions, "
+                    f"{len(digest['edges'])} lock-order edges, "  # type: ignore[arg-type]
+                    f"{len(digest['violations'])} violation(s)"  # type: ignore[arg-type]
+                )
+                if not digest["ok"]:
+                    for violation in digest["violations"]:  # type: ignore[attr-defined]
+                        print(f"  {violation}", file=sys.stderr)
+                    print("watchdog: FAILED", file=sys.stderr)
+                    return 1
             return 0
         try:
             threading.Event().wait()
@@ -575,13 +726,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_recover)
 
     p = sub.add_parser("lint",
-                       help="run the storage-stack invariant linter (LF01-LF06)")
+                       help="run the storage-stack invariant linter (LF01-LF09)")
     p.add_argument("paths", nargs="*",
                    help="files or directories (default: the repro package)")
     p.add_argument("--format", choices=("text", "json"), default="text")
     p.add_argument("--rules", default=None, metavar="LF01,LF02,...")
     p.add_argument("--list-rules", action="store_true")
+    p.add_argument("--check-ignores", action="store_true",
+                   help="also flag lint: ignore markers that suppress nothing")
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser(
+        "sanitize",
+        help="concurrency sanitizer: static LF08/LF09 pass + watchdog "
+             "smoke + schedule-fuzz sweep")
+    p.add_argument("paths", nargs="*",
+                   help="files or directories for the static pass "
+                        "(default: the repro package)")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--seeds", type=int, default=2,
+                   help="fuzz seeds per backend (default 2)")
+    p.add_argument("--sessions", type=int, default=3,
+                   help="fuzz sessions on concurrent backends (default 3)")
+    p.add_argument("--units", type=int, default=8,
+                   help="fuzzed units per session (default 8)")
+    p.add_argument("--backends", default=None, metavar="NAME,NAME,...",
+                   help="fuzz only these backends (default: all registered)")
+    p.add_argument("--smoke-clients", type=int, default=3,
+                   help="clients in the watchdog smoke run (default 3)")
+    p.add_argument("--smoke-units", type=int, default=12,
+                   help="units per smoke client (default 12)")
+    p.add_argument("--no-smoke", action="store_true",
+                   help="skip the served watchdog smoke run")
+    p.add_argument("--no-fuzz", action="store_true",
+                   help="skip the schedule-fuzz sweep")
+    p.set_defaults(func=cmd_sanitize)
 
     p = sub.add_parser("serve",
                        help="serve a database to concurrent socket clients")
@@ -611,6 +790,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write interval counter samples here (JSONL)")
     p.add_argument("--sample-interval", type=float, default=1.0,
                    help="seconds between interval samples (default 1.0)")
+    p.add_argument("--sanitize", action="store_true",
+                   help="wrap service locks in the lock-order watchdog; "
+                        "with --smoke, fail on any recorded violation")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("monitor",

@@ -127,6 +127,9 @@ class Session:
     def release_locks(self) -> int:
         """Release every lock this session holds (end of transaction)."""
         self._check()
+        # This IS the end-of-transaction boundary: the only
+        # caller-facing point where a session's locks drop.
+        # lint: ignore[LF08] -- end-of-transaction boundary
         return self._manager.release(self.name)
 
     def close(self, failed: bool = False) -> None:
@@ -259,6 +262,9 @@ class SessionManager:
         self._session_oids.pop(client, None)
         if not self._sm.supports_concurrency:
             return 0
+        # Whole-session release at the transaction boundary (group
+        # close / session end), not a mid-unit unlock.
+        # lint: ignore[LF08] -- transaction-boundary release
         return self._sm.unlock_all(client)
 
     def detach(self, name: str, failed: bool = False) -> None:

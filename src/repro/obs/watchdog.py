@@ -1,0 +1,290 @@
+"""Runtime lock-order watchdog: the dynamic half of the sanitizer.
+
+:class:`LockOrderWatchdog` manufactures wrapped ``threading`` locks
+(:meth:`lock` / :meth:`rlock`) that record every acquisition into a
+per-thread stack and check it, online, against the ground-truth order
+in :data:`repro.obs.tracing.LOCK_RANKS`:
+
+* **rank inversion** — acquiring a lock whose rank is <= the rank of a
+  lock the thread already holds (re-entrant re-acquisition of the same
+  RLock excepted);
+* **cycle** — the first-seen acquisition-edge graph (held -> acquired)
+  gains a path back to an already-held lock, i.e. two threads have
+  demonstrated opposite nesting orders at runtime.
+
+Violations accumulate (``violations()``); with ``strict=True`` the
+offending ``acquire`` raises :class:`~repro.errors.SanitizerError`
+instead, so a test can pin that a deliberately reordered acquisition is
+caught *at the point of the bug*.  First-seen edges are also emitted
+into an attached :class:`~repro.obs.tracing.UnitTracer` (``lock_order``
+events), putting the observed acquisition order into the same JSONL
+stream as the unit spans.
+
+The watchdog's own bookkeeping lock (``watchdog.state``) is the
+innermost lock in the system by construction: nothing is called while
+it is held, so instrumenting every other lock cannot itself deadlock.
+Wrapped RLocks forward the private ``Condition`` protocol
+(``_acquire_restore`` / ``_release_save`` / ``_is_owned``), so
+``threading.Condition(watchdog.rlock(...))`` works unchanged — and
+``wait()``'s release/re-acquire cycles are tracked like any other.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.errors import SanitizerError
+from repro.obs.tracing import LOCK_RANKS, UnitTracer
+
+
+class _HeldStack(threading.local):
+    """Per-thread stack of (lock name, re-entry count) frames."""
+
+    def __init__(self) -> None:
+        self.frames: list[list[object]] = []
+        self.muted = False
+
+
+class LockOrderWatchdog:
+    """Wraps locks, records acquisition order, flags inversions/cycles."""
+
+    def __init__(
+        self,
+        *,
+        strict: bool = False,
+        tracer: UnitTracer | None = None,
+        ranks: dict[str, int] | None = None,
+    ) -> None:
+        self._strict = strict
+        self._tracer = tracer
+        self._ranks = dict(LOCK_RANKS if ranks is None else ranks)
+        self._state_lock = threading.Lock()
+        self._held = _HeldStack()
+        #: first-seen acquisition edges: held-name -> set of acquired-names
+        self._edges: dict[str, set[str]] = {}
+        self._violations: list[dict[str, object]] = []
+        self._acquisitions = 0
+
+    # -- lock factories ------------------------------------------------------
+
+    def lock(self, name: str) -> "WatchedLock":
+        """A watched ``threading.Lock`` registered under ``name``."""
+        self._require_rank(name)
+        return WatchedLock(self, name, threading.Lock())
+
+    def rlock(self, name: str) -> "WatchedLock":
+        """A watched ``threading.RLock`` (Condition-compatible)."""
+        self._require_rank(name)
+        return WatchedLock(self, name, threading.RLock())
+
+    def _require_rank(self, name: str) -> None:
+        if name not in self._ranks:
+            raise SanitizerError(
+                f"lock {name!r} is not in the LOCK_RANKS ordering table; "
+                "register it before wrapping it"
+            )
+
+    # -- acquisition bookkeeping (called by WatchedLock) ---------------------
+
+    def note_acquired(self, name: str) -> None:
+        frames = self._held.frames
+        if frames and frames[-1][0] == name:
+            frames[-1][1] = int(frames[-1][1]) + 1  # re-entrant re-acquire
+            return
+        held_names = [str(frame[0]) for frame in frames]
+        frames.append([name, 1])
+        new_edges: list[tuple[str, str]] = []
+        with self._state_lock:
+            self._acquisitions += 1
+            for held in held_names:
+                if held == name:
+                    continue
+                targets = self._edges.setdefault(held, set())
+                if name not in targets:
+                    targets.add(name)
+                    new_edges.append((held, name))
+            problems = self._check_order(held_names, name)
+            self._violations.extend(problems)
+        self._emit_edges(new_edges)
+        if problems and self._strict:
+            raise SanitizerError(str(problems[0]["message"]))
+
+    def note_released(self, name: str) -> None:
+        frames = self._held.frames
+        for index in range(len(frames) - 1, -1, -1):
+            if frames[index][0] == name:
+                frames[index][1] = int(frames[index][1]) - 1
+                if int(frames[index][1]) <= 0:
+                    del frames[index]
+                return
+
+    def _check_order(
+        self, held_names: list[str], name: str
+    ) -> list[dict[str, object]]:
+        problems: list[dict[str, object]] = []
+        rank = self._ranks.get(name)
+        for held in held_names:
+            held_rank = self._ranks.get(held)
+            if (
+                rank is not None
+                and held_rank is not None
+                and held_rank >= rank
+            ):
+                problems.append(
+                    {
+                        "kind": "rank_inversion",
+                        "acquired": name,
+                        "held": held,
+                        "message": (
+                            f"lock order inversion: acquired {name!r} "
+                            f"(rank {rank}) while holding {held!r} "
+                            f"(rank {held_rank})"
+                        ),
+                    }
+                )
+            if self._has_path(name, held):
+                problems.append(
+                    {
+                        "kind": "cycle",
+                        "acquired": name,
+                        "held": held,
+                        "message": (
+                            f"lock acquisition cycle: {name!r} -> ... -> "
+                            f"{held!r} already observed, now acquiring "
+                            f"{name!r} while holding {held!r}"
+                        ),
+                    }
+                )
+        return problems
+
+    def _has_path(self, source: str, target: str) -> bool:
+        """Whether the edge graph already reaches ``target`` from ``source``."""
+        seen = {source}
+        frontier = [source]
+        while frontier:
+            node = frontier.pop()
+            for neighbour in self._edges.get(node, ()):
+                if neighbour == target:
+                    return True
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    frontier.append(neighbour)
+        return False
+
+    def _emit_edges(self, new_edges: list[tuple[str, str]]) -> None:
+        """Record first-seen edges into the obs trace (re-entry safe).
+
+        The tracer's own lock may be one of the watched locks, so the
+        emission is muted per-thread while it runs — the inner
+        ``note_acquired`` for ``tracer.events`` must not recurse back
+        into emission.
+        """
+        if self._tracer is None or not new_edges or self._held.muted:
+            return
+        self._held.muted = True
+        try:
+            for held, acquired in new_edges:
+                self._tracer.lock_order(held=held, acquired=acquired)
+        finally:
+            self._held.muted = False
+
+    # -- reading -------------------------------------------------------------
+
+    def violations(self) -> list[dict[str, object]]:
+        with self._state_lock:
+            return [dict(problem) for problem in self._violations]
+
+    def edges(self) -> list[tuple[str, str]]:
+        """Every acquisition edge seen so far, sorted."""
+        with self._state_lock:
+            return sorted(
+                (held, acquired)
+                for held, targets in self._edges.items()
+                for acquired in targets
+            )
+
+    def summary(self) -> dict[str, object]:
+        """JSON-safe digest for ``sample()`` payloads and reports."""
+        with self._state_lock:
+            return {
+                "acquisitions": self._acquisitions,
+                "edges": [
+                    [held, acquired]
+                    for held, targets in sorted(self._edges.items())
+                    for acquired in sorted(targets)
+                ],
+                "violations": [dict(problem) for problem in self._violations],
+                "ok": not self._violations,
+            }
+
+    def check(self) -> None:
+        """Raise :class:`SanitizerError` if any violation was recorded."""
+        with self._state_lock:
+            problems = list(self._violations)
+        if problems:
+            raise SanitizerError(
+                "; ".join(str(problem["message"]) for problem in problems)
+            )
+
+
+class WatchedLock:
+    """One wrapped lock: the real lock plus order bookkeeping.
+
+    Context-manager and ``acquire``/``release`` compatible with the
+    lock it wraps; additionally forwards the stdlib ``Condition``
+    protocol so a wrapped RLock can back a ``threading.Condition``.
+    """
+
+    def __init__(
+        self, watchdog: LockOrderWatchdog, name: str, inner: Any
+    ) -> None:
+        self._watchdog = watchdog
+        self.name = name
+        # Any by design: threading.Lock/RLock are factory functions, not
+        # types, and the Condition protocol below is typeshed-private.
+        self._inner: Any = inner
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = bool(self._inner.acquire(blocking, timeout))
+        if acquired:
+            self._watchdog.note_acquired(self.name)
+        return acquired
+
+    def release(self) -> None:
+        self._watchdog.note_released(self.name)
+        self._inner.release()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.release()
+
+    # -- Condition protocol (used by threading.Condition over an RLock) ------
+
+    def _acquire_restore(self, state: object) -> None:
+        if hasattr(self._inner, "_acquire_restore"):
+            self._inner._acquire_restore(state)
+        else:
+            self._inner.acquire()
+        self._watchdog.note_acquired(self.name)
+
+    def _release_save(self) -> object:
+        self._watchdog.note_released(self.name)
+        if hasattr(self._inner, "_release_save"):
+            state: object = self._inner._release_save()
+            return state
+        self._inner.release()
+        return None
+
+    def _is_owned(self) -> bool:
+        if hasattr(self._inner, "_is_owned"):
+            return bool(self._inner._is_owned())
+        # threading.Condition's own fallback for a plain Lock: held by
+        # *someone* iff a non-blocking probe fails.  The probe bypasses
+        # the watchdog on purpose — it is not an acquisition.
+        if self._inner.acquire(False):
+            self._inner.release()
+            return False
+        return True

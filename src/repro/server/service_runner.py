@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import socket
 import threading
-from typing import Iterable
+from typing import Any, Iterable
 
 from repro.errors import (
     DuplicateKeyError,
@@ -53,6 +53,7 @@ from repro.labbase.database import LabBase
 from repro.labbase.sessions import LockedPages, SessionManager
 from repro.obs.registry import gauges_from
 from repro.obs.tracing import UnitTracer
+from repro.obs.watchdog import LockOrderWatchdog
 from repro.server.commit import DEFAULT_GROUP_CAP, CommitCoordinator
 from repro.server.communicator import Channel, Request, Response
 
@@ -83,6 +84,7 @@ class LabFlowService:
         max_retries: int = DEFAULT_MAX_RETRIES,
         retry_backoff: float = DEFAULT_RETRY_BACKOFF,
         tracer: UnitTracer | None = None,
+        watchdog: LockOrderWatchdog | None = None,
     ) -> None:
         if db.storage.in_transaction:
             raise TransactionError(
@@ -97,7 +99,13 @@ class LabFlowService:
         )
         self._max_retries = max(0, max_retries)
         self._retry_backoff = max(0.0, retry_backoff)
-        self._mutex = threading.RLock()
+        # Any: a watched RLock and a real RLock expose the same protocol
+        # (Condition included), but share no typeshed-visible base.
+        self._mutex: Any = (
+            watchdog.rlock("service.mutex")
+            if watchdog is not None
+            else threading.RLock()
+        )
         self._wakeup = threading.Condition(self._mutex)
         self._completed: list[tuple[str, str, dict[str, object]]] = []
 
@@ -331,6 +339,9 @@ class LabFlowService:
     def _close_group(self) -> None:
         participants = self._coordinator.close()
         for participant in participants:
+            # The group close IS unit/commit end: every participant's
+            # locks go at the durability boundary.
+            # lint: ignore[LF08] -- group-commit durability boundary
             self._sessions.release(participant)
         self._wakeup.notify_all()
 
@@ -362,6 +373,10 @@ class LabFlowService:
         if not self._db.storage.supports_concurrency:
             return
         for page_id in taken.new:
+            # Query units are not two-phase: SHARED grants go back at
+            # unit end by design (see the module docstring), and
+            # update-path grants never route through here.
+            # lint: ignore[LF08] -- shared-grant release at query unit end
             self._db.storage.unlock_page(name, page_id)
 
 
@@ -390,7 +405,11 @@ class ServiceRunner:
     """
 
     def __init__(
-        self, service: LabFlowService, host: str = "127.0.0.1", port: int = 0
+        self,
+        service: LabFlowService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        watchdog: LockOrderWatchdog | None = None,
     ) -> None:
         self._service = service
         self._host = host
@@ -398,8 +417,15 @@ class ServiceRunner:
         self._listener: socket.socket | None = None
         self._threads: list[threading.Thread] = []
         self._channels: set[Channel] = set()
-        self._channel_lock = threading.Lock()
-        self._closing = False
+        # Any: watched Lock / real Lock, same protocol, no shared base.
+        # _channel_lock guards _channels AND _threads — the two
+        # containers both the acceptor and the stopping thread touch.
+        self._channel_lock: Any = (
+            watchdog.lock("runner.channels")
+            if watchdog is not None
+            else threading.Lock()
+        )
+        self._closing = threading.Event()
 
     @property
     def address(self) -> tuple[str, int]:
@@ -418,15 +444,19 @@ class ServiceRunner:
         listener.listen()
         self._listener = listener
         acceptor = threading.Thread(
-            target=self._accept_loop, name="labflow-accept", daemon=True
+            target=self._accept_loop,
+            args=(listener,),
+            name="labflow-accept",
+            daemon=True,
         )
         acceptor.start()
-        self._threads.append(acceptor)
+        with self._channel_lock:
+            self._threads.append(acceptor)
         return self.address
 
     def stop(self) -> None:
         """Stop accepting, close connections, drain the service."""
-        self._closing = True
+        self._closing.set()
         if self._listener is not None:
             try:
                 # shutdown() wakes the thread blocked in accept();
@@ -440,36 +470,38 @@ class ServiceRunner:
                 pass
         with self._channel_lock:
             channels = list(self._channels)
+            threads = list(self._threads)
+            self._threads.clear()
         for channel in channels:
             channel.close()
-        for thread in self._threads:
+        # Join outside _channel_lock: exiting workers take it to drop
+        # their channel, and the acceptor takes it to register late ones.
+        for thread in threads:
             thread.join(timeout=5.0)
-        self._threads.clear()
         self._listener = None
         self._service.shutdown()
 
-    def _accept_loop(self) -> None:
-        assert self._listener is not None
-        while not self._closing:
+    def _accept_loop(self, listener: socket.socket) -> None:
+        while not self._closing.is_set():
             try:
-                conn, _addr = self._listener.accept()
+                conn, _addr = listener.accept()
             except OSError:
                 return  # listener closed: shutting down
             channel = Channel(conn)
-            with self._channel_lock:
-                self._channels.add(channel)
             worker = threading.Thread(
                 target=self._serve_connection,
                 args=(channel,),
                 name="labflow-conn",
                 daemon=True,
             )
+            with self._channel_lock:
+                self._channels.add(channel)
+                self._threads.append(worker)
             worker.start()
-            self._threads.append(worker)
 
     def _serve_connection(self, channel: Channel) -> None:
         try:
-            while not self._closing:
+            while not self._closing.is_set():
                 try:
                     request = channel.recv_request()
                 except ProtocolError as exc:

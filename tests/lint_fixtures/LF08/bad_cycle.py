@@ -1,0 +1,21 @@
+# module: repro.labbase.sessions_fixture
+"""Flagged by LF08: two functions demonstrate opposite nesting orders,
+closing a cycle in the lock-acquisition graph (potential deadlock)."""
+
+import threading
+
+
+class Cycler:
+    def __init__(self):
+        self._left = threading.RLock()
+        self._right = threading.RLock()
+
+    def forward(self, job):
+        with self._left:
+            with self._right:
+                return job
+
+    def backward(self, job):
+        with self._right:
+            with self._left:
+                return job

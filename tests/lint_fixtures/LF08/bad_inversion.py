@@ -1,0 +1,16 @@
+# module: repro.server.fixture_inversion
+"""Flagged by LF08: acquires a lower-ranked lock while holding a
+higher-ranked one — the deliberate reordering the sanitizer must see."""
+
+import threading
+
+
+class Inverter:
+    def __init__(self):
+        self._first = threading.Lock()
+        self._second = threading.Lock()
+
+    def forward(self, job):
+        with self._second:
+            with self._first:  # rank 20 acquired under rank 30
+                return job

@@ -1,0 +1,20 @@
+# module: repro.server.fixture_release
+"""Flagged by LF08: a page-lock release on the happy path, before unit
+end — breaks strict 2PL (updates must hold locks until the group
+closes)."""
+
+
+class EagerReleaser:
+    def __init__(self, storage):
+        self._storage = storage
+
+    def run_unit(self, client, oids):
+        for oid in sorted(oids):
+            self._storage.lock_page(client, oid, exclusive=True)
+        value = self._apply(client)
+        for oid in sorted(oids):
+            self._storage.unlock_page(client, oid)  # before commit!
+        return value
+
+    def _apply(self, client):
+        return client

@@ -1,0 +1,20 @@
+# module: repro.server.fixture_rollback
+"""Flagged by LF08: a rollback handler that releases newly taken page
+locks but never downgrades upgrades — PR 6's lock-upgrade leak."""
+
+
+class LeakyRollback:
+    def __init__(self, storage):
+        self._storage = storage
+
+    def lock_all(self, client, oids):
+        taken = []
+        try:
+            for oid in sorted(oids):
+                self._storage.lock_page(client, oid, exclusive=True)
+                taken.append(oid)
+        except Exception:
+            for oid in taken:
+                self._storage.unlock_page(client, oid)
+            raise  # upgraded pages stay EXCLUSIVE: the leak
+        return taken

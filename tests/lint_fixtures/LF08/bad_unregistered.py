@@ -1,0 +1,14 @@
+# module: repro.server.fixture_unregistered
+"""Flagged by LF08: a lock attribute in the served core that has no
+entry in the LOCK_SITES/LOCK_RANKS ordering table."""
+
+import threading
+
+
+class Rogue:
+    def __init__(self):
+        self._hidden = threading.Lock()
+
+    def touch(self, value):
+        with self._hidden:
+            return value

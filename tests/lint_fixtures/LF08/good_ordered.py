@@ -1,0 +1,35 @@
+# module: repro.server.fixture_ordered
+"""Clean under LF08: registered locks, rank-ordered nesting, sorted
+multi-acquisition, rollback that restores upgrades."""
+
+import threading
+
+
+class Pipeline:
+    def __init__(self, storage):
+        self._gate = threading.RLock()
+        self._state_lock = threading.Lock()
+        self._storage = storage
+        self._jobs = []
+
+    def submit(self, client, oids):
+        with self._gate:
+            self._lock_sorted(client, oids)
+            with self._state_lock:
+                self._jobs.append(client)
+
+    def _lock_sorted(self, client, oids):
+        taken = []
+        try:
+            for oid in sorted(set(oids)):
+                self._storage.lock_page(client, oid, exclusive=True)
+                taken.append(oid)
+        except Exception:
+            for oid in taken:
+                self._storage.unlock_page(client, oid)
+            for oid in self._upgraded(client):
+                self._storage.downgrade_page(client, oid)
+            raise
+
+    def _upgraded(self, client):
+        return []

@@ -1,0 +1,21 @@
+# module: repro.obs.tracing
+"""Fixture ordering table: the ground truth LF08 decodes.
+
+Poses as ``repro.obs.tracing`` so the fixture project has exactly one
+``LOCK_RANKS``/``LOCK_SITES`` pair, covering the lock attributes the
+good/bad fixture classes declare.
+"""
+
+LOCK_RANKS: dict[str, int] = {
+    "outer.gate": 0,
+    "inner.state": 10,
+    "inv.first": 20,
+    "inv.second": 30,
+}
+
+LOCK_SITES: dict[str, str] = {
+    "outer.gate": "Pipeline._gate",
+    "inner.state": "Pipeline._state_lock",
+    "inv.first": "Inverter._first",
+    "inv.second": "Inverter._second",
+}

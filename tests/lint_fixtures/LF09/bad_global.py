@@ -1,0 +1,22 @@
+# module: repro.server.fixture_global
+"""Flagged by LF09: module-level mutable state written by worker
+threads and read by the launcher, with no lock anywhere."""
+
+import threading
+
+EVENTS = []
+
+
+def drain(count):
+    threads = [
+        threading.Thread(target=_collect) for _ in range(count)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return list(EVENTS)
+
+
+def _collect():
+    EVENTS.append("unit")

@@ -1,0 +1,27 @@
+# module: repro.server.fixture_mixed
+"""Flagged by LF09: every access holds *a* lock, but not the same one —
+two threads can still interleave on the shared counter map."""
+
+import threading
+
+
+class MixedLocks:
+    def __init__(self):
+        self._read_lock = threading.Lock()
+        self._write_lock = threading.Lock()
+        self._counts = {}
+
+    def run(self, count):
+        threads = [
+            threading.Thread(target=self._worker) for _ in range(count)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        with self._read_lock:
+            return dict(self._counts)
+
+    def _worker(self):
+        with self._write_lock:
+            self._counts["units"] = self._counts.get("units", 0) + 1

@@ -1,0 +1,25 @@
+# module: repro.server.fixture_unguarded
+"""Flagged by LF09: worker threads append to a shared list with no lock
+at all."""
+
+import threading
+
+
+class UnguardedPool:
+    def __init__(self, jobs):
+        self._jobs = list(jobs)
+        self._results = []
+
+    def run(self, count):
+        threads = [
+            threading.Thread(target=self._worker) for _ in range(count)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return list(self._results)
+
+    def _worker(self):
+        while self._jobs:
+            self._results.append(self._jobs.pop())

@@ -1,0 +1,32 @@
+# module: repro.server.fixture_guarded
+"""Clean under LF09: every access to the worker-shared containers is
+dominated by the same lock."""
+
+import threading
+
+
+class GuardedPool:
+    def __init__(self, jobs):
+        self._lock = threading.Lock()
+        self._jobs = list(jobs)
+        self._results = []
+
+    def run(self, count):
+        threads = [
+            threading.Thread(target=self._worker) for _ in range(count)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        with self._lock:
+            return list(self._results)
+
+    def _worker(self):
+        while True:
+            with self._lock:
+                if not self._jobs:
+                    return
+                job = self._jobs.pop()
+            with self._lock:
+                self._results.append(job)

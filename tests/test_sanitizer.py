@@ -1,0 +1,354 @@
+"""The concurrency sanitizer, both prongs.
+
+The acceptance story: deliberately reordering two lock acquisitions must
+be caught twice — statically by LF08 on the source, and at runtime by
+the lock-order watchdog watching the same ranks.  Around that core:
+watchdog unit behavior, the PR 6 rollback-leak regression trap, stale
+``lint: ignore`` detection, and the schedule fuzzer's serial-equivalence
+sweep across every registered backend.
+"""
+
+import threading
+
+import pytest
+
+from repro.analysis import main as lint_main
+from repro.analysis.core import (
+    Project,
+    SourceModule,
+    run_rules,
+    stale_ignores,
+)
+from repro.analysis.main import default_root
+from repro.analysis.rules import ALL_RULES, rules_by_id
+from repro.errors import SanitizerError
+from repro.obs.tracing import LOCK_RANKS, LOCK_SITES, UnitTracer
+from repro.obs.watchdog import LockOrderWatchdog
+from repro.server.fuzz import (
+    ScheduleFuzzer,
+    fuzz_backend,
+    make_schedule,
+)
+from repro.storage import registry
+from repro.util.rng import DeterministicRng
+
+import os
+
+
+def _shipped_source(*parts):
+    path = os.path.join(default_root(), *parts)
+    return open(path, encoding="utf-8").read()
+
+
+# ---------------------------------------------------------------------------
+# the reorder acceptance: one bug, two detectors
+# ---------------------------------------------------------------------------
+
+_RANK_TABLE = (
+    "# module: repro.obs.tracing\n"
+    "LOCK_RANKS = {'gate': 0, 'mutex': 10}\n"
+    "LOCK_SITES = {'gate': 'Server._gate', 'mutex': 'Server._mutex'}\n"
+)
+
+_SERVER_TEMPLATE = (
+    "# module: repro.server.reorder_demo\n"
+    "import threading\n"
+    "\n"
+    "\n"
+    "class Server:\n"
+    "    def __init__(self):\n"
+    "        self._gate = threading.Lock()\n"
+    "        self._mutex = threading.RLock()\n"
+    "\n"
+    "    def unit(self):\n"
+    "        with {outer}:\n"
+    "            with {inner}:\n"
+    "                return 1\n"
+)
+
+
+def _reorder_findings(outer, inner):
+    project = Project(
+        [
+            SourceModule("tracing.py", _RANK_TABLE),
+            SourceModule(
+                "server.py",
+                _SERVER_TEMPLATE.format(outer=outer, inner=inner),
+            ),
+        ]
+    )
+    return run_rules(project, rules_by_id(["LF08"]))
+
+
+def test_static_prong_accepts_ranked_order():
+    assert _reorder_findings("self._gate", "self._mutex") == []
+
+
+def test_static_prong_flags_the_reorder():
+    findings = _reorder_findings("self._mutex", "self._gate")
+    assert findings, "swapping the two acquisitions must be flagged"
+    assert any("inversion" in f.message for f in findings)
+
+
+def test_runtime_prong_accepts_ranked_order():
+    watchdog = LockOrderWatchdog(ranks={"gate": 0, "mutex": 10})
+    gate, mutex = watchdog.lock("gate"), watchdog.rlock("mutex")
+    with gate:
+        with mutex:
+            pass
+    assert watchdog.violations() == []
+    assert watchdog.edges() == [("gate", "mutex")]
+
+
+def test_runtime_prong_flags_the_reorder():
+    watchdog = LockOrderWatchdog(ranks={"gate": 0, "mutex": 10})
+    gate, mutex = watchdog.lock("gate"), watchdog.rlock("mutex")
+    with mutex:
+        with gate:
+            pass
+    kinds = {v["kind"] for v in watchdog.violations()}
+    assert "rank_inversion" in kinds
+    with pytest.raises(SanitizerError):
+        watchdog.check()
+
+
+# ---------------------------------------------------------------------------
+# watchdog unit behavior
+# ---------------------------------------------------------------------------
+
+
+def test_watchdog_strict_raises_at_the_acquire():
+    watchdog = LockOrderWatchdog(strict=True, ranks={"a": 0, "b": 1})
+    a, b = watchdog.lock("a"), watchdog.lock("b")
+    with b:
+        with pytest.raises(SanitizerError):
+            a.acquire()
+
+
+def test_watchdog_refuses_unranked_names():
+    watchdog = LockOrderWatchdog(ranks={"a": 0})
+    with pytest.raises(SanitizerError):
+        watchdog.lock("unregistered")
+
+
+def test_watchdog_detects_cross_thread_cycles():
+    watchdog = LockOrderWatchdog(ranks={"a": 0, "b": 0})
+    a, b = watchdog.lock("a"), watchdog.lock("b")
+
+    def forward():
+        with a:
+            with b:
+                pass
+
+    def backward():
+        with b:
+            with a:
+                pass
+
+    for target in (forward, backward):
+        thread = threading.Thread(target=target)
+        thread.start()
+        thread.join()
+    kinds = {v["kind"] for v in watchdog.violations()}
+    assert "cycle" in kinds
+
+
+def test_watchdog_rlock_reentry_is_not_a_violation():
+    watchdog = LockOrderWatchdog(ranks={"m": 0})
+    mutex = watchdog.rlock("m")
+    with mutex:
+        with mutex:
+            pass
+    assert watchdog.violations() == []
+
+
+@pytest.mark.parametrize("factory", ["lock", "rlock"])
+def test_watchdog_condition_wait_releases_and_restores(factory):
+    """Condition.wait over a watched lock must not corrupt the stack.
+
+    Covers both inner kinds: the RLock path forwards the typeshed
+    Condition protocol, the plain-Lock path uses the stdlib fallbacks.
+    """
+    watchdog = LockOrderWatchdog(ranks={"m": 0})
+    lock = getattr(watchdog, factory)("m")
+    cond = threading.Condition(lock)
+    woke = []
+
+    def waiter():
+        with lock:
+            cond.wait(timeout=2.0)
+            woke.append(True)
+
+    thread = threading.Thread(target=waiter)
+    thread.start()
+    # Nudge the waiter; if it already timed out the join still succeeds.
+    with lock:
+        cond.notify_all()
+    thread.join()
+    assert woke == [True]
+    assert watchdog.violations() == []
+    # The waiter's release/restore kept the books balanced: a fresh
+    # acquisition works and counts.
+    with lock:
+        pass
+    assert watchdog.summary()["ok"] is True
+
+
+def test_watchdog_emits_edges_into_the_trace():
+    events = []
+    tracer = UnitTracer(sink=None)
+    tracer.lock_order = lambda **kw: events.append(kw)  # capture
+    watchdog = LockOrderWatchdog(tracer=tracer, ranks={"a": 0, "b": 1})
+    a, b = watchdog.lock("a"), watchdog.lock("b")
+    for _ in range(2):
+        with a:
+            with b:
+                pass
+    # first-seen only: the second pass adds no edge event
+    assert events == [{"held": "a", "acquired": "b"}]
+
+
+def test_lock_tables_agree_with_each_other():
+    assert set(LOCK_RANKS) == set(LOCK_SITES)
+    ranks = list(LOCK_RANKS.values())
+    assert ranks == sorted(ranks) and len(set(ranks)) == len(ranks)
+
+
+# ---------------------------------------------------------------------------
+# the PR 6 regression trap: lock-upgrade rollback leak
+# ---------------------------------------------------------------------------
+
+
+def test_shipped_rollback_restore_is_clean():
+    source = _shipped_source("labbase", "sessions.py")
+    project = Project([SourceModule("src/repro/labbase/sessions.py", source)])
+    assert run_rules(project, rules_by_id(["LF08"])) == []
+
+
+def test_reintroduced_rollback_leak_is_caught():
+    """Deleting the downgrade loop re-creates PR 6's upgrade leak."""
+    downgrade_loop = (
+        "        for page_id in taken.upgraded:\n"
+        "            self._sm.downgrade_page(client, page_id)\n"
+    )
+    source = _shipped_source("labbase", "sessions.py")
+    assert downgrade_loop in source, "regression trap lost its anchor"
+    leaky = source.replace(downgrade_loop, "")
+    project = Project([SourceModule("src/repro/labbase/sessions.py", leaky)])
+    findings = run_rules(project, rules_by_id(["LF08"]))
+    assert any("downgrade" in f.message for f in findings)
+
+
+# ---------------------------------------------------------------------------
+# stale-ignore detection
+# ---------------------------------------------------------------------------
+
+_IGNORE_DEMO = (
+    "# module: repro.storage.demo\n"
+    "def f():\n"
+    "    try:\n"
+    "        pass\n"
+    "    # lint: ignore[LF06] -- live: suppresses the handler below\n"
+    "    except Exception:\n"
+    "        pass\n"
+    "    # lint: ignore[LF06] -- stale: suppresses nothing\n"
+    "    x = 1\n"
+    "    # lint: ignore[LF99] -- unknown rule id\n"
+    "    return x\n"
+)
+
+
+def test_stale_and_unknown_ignores_are_flagged():
+    project = Project([SourceModule("demo.py", _IGNORE_DEMO)])
+    used = set()
+    findings = run_rules(project, ALL_RULES, used_suppressions=used)
+    assert findings == []  # the live marker suppressed the only finding
+    stale = stale_ignores(
+        project, ALL_RULES, used, known_ids={r.id for r in ALL_RULES}
+    )
+    assert [f.line for f in stale] == [8, 10]
+    assert "stale suppression" in stale[0].message
+    assert "unknown rule id" in stale[1].message
+    assert all(f.rule == "LF00" for f in stale)
+
+
+def test_docstring_mentions_are_not_markers():
+    source = (
+        "# module: repro.storage.demo\n"
+        '"""Docs may cite ``# lint: ignore[LF06]`` without creating '
+        'a suppression."""\n'
+        "x = 1\n"
+    )
+    module = SourceModule("demo.py", source)
+    assert module.suppression_sites() == ()
+
+
+def test_shipped_tree_has_no_stale_ignores(capsys):
+    assert lint_main(["--check-ignores"]) == 0
+    assert "0 findings" in capsys.readouterr().out
+
+
+def test_check_ignores_exit_code(tmp_path, capsys):
+    demo = tmp_path / "demo.py"
+    demo.write_text(_IGNORE_DEMO)
+    assert lint_main([str(demo), "--check-ignores"]) == 1
+    out = capsys.readouterr().out
+    assert "LF00" in out and "stale suppression" in out
+
+
+# ---------------------------------------------------------------------------
+# the schedule fuzzer
+# ---------------------------------------------------------------------------
+
+
+def test_schedule_is_deterministic_and_complete():
+    rng = DeterministicRng(11)
+    schedule = make_schedule(3, 5, rng.substream("schedule"))
+    again = make_schedule(3, 5, DeterministicRng(11).substream("schedule"))
+    assert schedule == again
+    assert len(schedule) == 15
+    assert all(schedule.count(i) == 5 for i in range(3))
+    other = make_schedule(3, 5, DeterministicRng(12).substream("schedule"))
+    assert other != schedule  # seeds genuinely vary the interleaving
+
+
+def test_fuzzer_validates_inputs():
+    with pytest.raises(ValueError):
+        ScheduleFuzzer(object(), [])
+    with pytest.raises(ValueError):
+        ScheduleFuzzer(object(), ["s0"], units_per_session=0)
+
+
+@pytest.mark.parametrize(
+    "backend_name",
+    registry.backend_names(),
+    ids=lambda name: name,
+)
+def test_fuzzed_schedule_matches_serial_replay(backend_name):
+    """The tentpole invariant, per backend: interleaved == serial."""
+    for seed in (0, 1):
+        watchdog = LockOrderWatchdog()
+        report = fuzz_backend(
+            backend_name, seed=seed, units_per_session=5, watchdog=watchdog
+        )
+        assert report.identical, (
+            f"{backend_name} seed {seed}: fuzzed database diverged "
+            "from the serial replay of its own completion order"
+        )
+        assert report.watchdog_violations == 0
+        assert report.completed_units > 0
+
+
+def test_fuzz_reports_are_reproducible():
+    first = fuzz_backend("OStore", seed=9, units_per_session=4)
+    second = fuzz_backend("OStore", seed=9, units_per_session=4)
+    assert first.fingerprint == second.fingerprint
+    assert first.completed_units == second.completed_units
+
+
+def test_fuzzer_nests_the_gate_under_the_service_mutex():
+    """The run itself exercises the ranked gate -> mutex nesting."""
+    watchdog = LockOrderWatchdog()
+    fuzz_backend("OStore", seed=2, units_per_session=4, watchdog=watchdog)
+    assert ("fuzz.gate", "service.mutex") in watchdog.edges()
+    assert watchdog.violations() == []

@@ -1,7 +1,7 @@
 """The typing ratchet.
 
 ``pyproject.toml`` promotes ``repro.storage``, ``repro.labbase``,
-``repro.server`` and ``repro.obs`` to
+``repro.server``, ``repro.obs`` and ``repro.analysis`` to
 mypy's strict flag set.  CI runs mypy itself; this module keeps two
 guarantees testable without mypy installed:
 
@@ -25,7 +25,13 @@ import pytest
 
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SRC = os.path.join(REPO, "src")
-RATCHETED = ("repro/storage", "repro/labbase", "repro/server", "repro/obs")
+RATCHETED = (
+    "repro/storage",
+    "repro/labbase",
+    "repro/server",
+    "repro/obs",
+    "repro/analysis",
+)
 
 
 def _ratcheted_files():
@@ -42,6 +48,7 @@ def test_ratchet_config_present_and_honest():
     assert "[tool.mypy]" in text
     assert '"repro.storage.*"' in text and '"repro.labbase.*"' in text
     assert '"repro.server.*"' in text and '"repro.obs.*"' in text
+    assert '"repro.analysis.*"' in text
     assert "disallow_untyped_defs = true" in text
     assert "ignore_errors = true" not in text  # no blanket escape hatches
 
@@ -76,7 +83,7 @@ def test_mypy_strict_on_ratcheted_packages():
         [
             sys.executable, "-m", "mypy",
             "-p", "repro.storage", "-p", "repro.labbase", "-p", "repro.server",
-            "-p", "repro.obs",
+            "-p", "repro.obs", "-p", "repro.analysis",
         ],
         cwd=REPO,
         capture_output=True,
